@@ -1,0 +1,418 @@
+(* vwctl — the VirtualWire command-line front-end.
+
+   This plays the role of the paper's "programming tool ... active on the
+   control node [to which] the user ... submits [a script] through a
+   command line interface" (Section 5.1), driving simulated testbeds:
+
+     vwctl check  script.fsl          parse + compile, report problems
+     vwctl parse  script.fsl          dump the six tables (Figure 3)
+     vwctl run    script.fsl [opts]   build the testbed and run the scenario
+     vwctl script figure5|figure6     print the paper's embedded scripts *)
+
+open Cmdliner
+module Testbed = Vw_core.Testbed
+module Scenario = Vw_core.Scenario
+module Trace = Vw_core.Trace
+module Host = Vw_stack.Host
+module Tcp = Vw_tcp.Tcp
+module Rether = Vw_rether.Rether
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_script path =
+  match read_file path with
+  | s -> Ok s
+  | exception Sys_error e -> Error e
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* --- check --- *)
+
+let check_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  let run script_path =
+    match load_script script_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok src -> (
+        match Vw_fsl.Compile.parse_and_compile src with
+        | Ok tables ->
+            Printf.printf
+              "%s: OK (%d filters, %d nodes, %d counters, %d terms, %d \
+               conditions, %d actions)\n"
+              script_path
+              (Array.length tables.Vw_fsl.Tables.filters)
+              (Array.length tables.Vw_fsl.Tables.nodes)
+              (Array.length tables.Vw_fsl.Tables.counters)
+              (Array.length tables.Vw_fsl.Tables.terms)
+              (Array.length tables.Vw_fsl.Tables.conds)
+              (Array.length tables.Vw_fsl.Tables.actions);
+            0
+        | Error e ->
+            Printf.eprintf "%s: %s\n" script_path e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and statically check an FSL script.")
+    Term.(const run $ script_arg)
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  let run script_path =
+    match load_script script_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok src -> (
+        match Vw_fsl.Compile.parse_and_compile src with
+        | Ok tables ->
+            Format.printf "%a@." Vw_fsl.Tables.pp tables;
+            0
+        | Error e ->
+            Printf.eprintf "%s: %s\n" script_path e;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Compile an FSL script and dump the six tables the control node \
+          would ship to every FIE/FAE.")
+    Term.(const run $ script_arg)
+
+(* --- run --- *)
+
+type workload_kind = Udp_ping | Tcp_stream | Rether_ring | Idle
+
+let workload_conv =
+  let parse = function
+    | "udp-ping" -> Ok Udp_ping
+    | "tcp-stream" -> Ok Tcp_stream
+    | "rether" -> Ok Rether_ring
+    | "idle" -> Ok Idle
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with
+      | Udp_ping -> "udp-ping"
+      | Tcp_stream -> "tcp-stream"
+      | Rether_ring -> "rether"
+      | Idle -> "idle")
+  in
+  Arg.conv (parse, print)
+
+(* Built-in workloads so any two-node (or four-node) script can be driven
+   from the command line. They follow the paper's conventions: TCP flows
+   use ports 0x6000 -> 0x4000 between the first and last nodes of the node
+   table; UDP ping uses 0x1388 -> 0x1389. *)
+let make_workload kind ~bytes testbed =
+  let all = Testbed.nodes testbed in
+  let first = List.hd all in
+  let last = List.nth all (List.length all - 1) in
+  match kind with
+  | Idle -> ()
+  | Udp_ping ->
+      let engine = Testbed.engine testbed in
+      let a = Testbed.host first and b = Testbed.host last in
+      Host.udp_bind b ~port:0x1389 (fun ~src ~src_port payload ->
+          Host.udp_send b ~src_port:0x1389 ~dst:src ~dst_port:src_port payload);
+      Host.udp_bind a ~port:0x1388 (fun ~src:_ ~src_port:_ _ -> ());
+      let count = max 1 (bytes / 64) in
+      for i = 0 to count - 1 do
+        ignore
+          (Vw_sim.Engine.schedule_after engine
+             ~delay:(i * Vw_sim.Simtime.ms 5)
+             (fun () ->
+               Host.udp_send a ~src_port:0x1388 ~dst:(Host.ip b)
+                 ~dst_port:0x1389 (Bytes.create 64)))
+      done
+  | Tcp_stream ->
+      ignore
+        (Tcp.listen (Testbed.tcp last) ~port:0x4000 ~on_accept:(fun conn ->
+             Tcp.on_data conn (fun _ -> ())));
+      let conn =
+        Tcp.connect (Testbed.tcp first) ~src_port:0x6000
+          ~dst:(Host.ip (Testbed.host last))
+          ~dst_port:0x4000
+      in
+      Tcp.on_established conn (fun () -> Tcp.send conn (Bytes.create bytes))
+  | Rether_ring ->
+      let ring = List.map (fun n -> Host.mac (Testbed.host n)) all in
+      let config = Rether.default_config ~ring in
+      let rethers =
+        List.map (fun n -> Rether.install ~config (Testbed.host n)) all
+      in
+      (match rethers with r :: _ -> Rether.start r | [] -> ());
+      if List.length all >= 2 then begin
+        ignore
+          (Tcp.listen (Testbed.tcp last) ~port:0x4000 ~on_accept:(fun conn ->
+               Tcp.on_data conn (fun _ -> ())));
+        let conn =
+          Tcp.connect (Testbed.tcp first) ~src_port:0x6000
+            ~dst:(Host.ip (Testbed.host last))
+            ~dst_port:0x4000
+        in
+        Tcp.on_established conn (fun () -> Tcp.send conn (Bytes.create bytes))
+      end
+
+let run_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt workload_conv Tcp_stream
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:
+            "Traffic to drive through the testbed: $(b,tcp-stream), \
+             $(b,udp-ping), $(b,rether) (token ring plus a TCP stream), or \
+             $(b,idle).")
+  in
+  let bytes_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "b"; "bytes" ] ~docv:"N"
+          ~doc:"Payload volume for the workload (bytes, or ping count * 64).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "d"; "max-duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated-time budget for the scenario.")
+  in
+  let rll_arg =
+    Arg.(
+      value & flag
+      & info [ "rll" ] ~doc:"Install the Reliable Link Layer on every node.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "t"; "trace" ] ~docv:"N"
+          ~doc:"Print the last $(docv) captured frames after the run.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+  in
+  let counters_arg =
+    Arg.(
+      value & flag
+      & info [ "c"; "counters" ]
+          ~doc:"Dump every node's FAE counters after the run.")
+  in
+  let run script_path workload bytes duration rll trace_n verbose counters =
+    setup_logs verbose;
+    match load_script script_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok src -> (
+        match Vw_fsl.Compile.parse_and_compile src with
+        | Error e ->
+            Printf.eprintf "%s: %s\n" script_path e;
+            1
+        | Ok tables -> (
+            let config =
+              {
+                Testbed.default_config with
+                rll = (if rll then Some Vw_rll.Rll.default_config else None);
+              }
+            in
+            let testbed = Testbed.of_node_table ~config tables in
+            match
+              Scenario.run testbed ~script:src
+                ~max_duration:(Vw_sim.Simtime.sec duration)
+                ~workload:(make_workload workload ~bytes)
+            with
+            | Error e ->
+                Printf.eprintf "error: %s\n" e;
+                1
+            | Ok result ->
+                Format.printf "%a@." Scenario.pp_result result;
+                List.iter
+                  (fun { Scenario.err_node; err_rule } ->
+                    Printf.printf "  FLAG_ERROR from %s (rule %d)\n" err_node
+                      err_rule)
+                  result.Scenario.errors;
+                if counters then
+                  List.iter
+                    (fun node ->
+                      match
+                        Vw_engine.Fie.counters (Testbed.fie node)
+                      with
+                      | [] -> ()
+                      | cs ->
+                          Printf.printf "counters at %s:\n" (Testbed.name node);
+                          List.iter
+                            (fun (name, value, enabled) ->
+                              Printf.printf "  %-24s %8d%s\n" name value
+                                (if enabled then "" else "  (disabled)"))
+                            cs)
+                    (Testbed.nodes testbed);
+                if trace_n > 0 then begin
+                  let entries = Trace.entries (Testbed.trace testbed) in
+                  let total = List.length entries in
+                  Printf.printf "--- last %d of %d captured frames ---\n"
+                    (min trace_n total) total;
+                  List.iteri
+                    (fun i e ->
+                      if i >= total - trace_n then
+                        Format.printf "%a@." Trace.pp_entry e)
+                    entries
+                end;
+                if Scenario.passed result then 0 else 2))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Compile a script, build a simulated testbed from its node table, \
+          deploy over the control plane and run the scenario.")
+    Term.(
+      const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
+      $ rll_arg $ trace_arg $ verbose_arg $ counters_arg)
+
+(* --- suite --- *)
+
+(* Per-script run directives, embedded as comments:
+     # vwctl: workload=udp-ping bytes=640 expect=fail duration=10
+   Unknown keys are rejected so typos do not silently change a test. *)
+let parse_directives src =
+  let defaults = (Tcp_stream, 1_000_000, `Pass, 60.0) in
+  let lines = String.split_on_char '\n' src in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ -> acc
+      | Ok (workload, bytes, expect, duration) ->
+          let line = String.trim line in
+          let prefix = "# vwctl:" in
+          if
+            String.length line >= String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+          then
+            let rest =
+              String.sub line (String.length prefix)
+                (String.length line - String.length prefix)
+            in
+            let kvs =
+              String.split_on_char ' ' rest
+              |> List.filter (fun s -> String.trim s <> "")
+            in
+            List.fold_left
+              (fun acc kv ->
+                match acc with
+                | Error _ -> acc
+                | Ok (workload, bytes, expect, duration) -> (
+                    match String.split_on_char '=' kv with
+                    | [ "workload"; v ] -> (
+                        match v with
+                        | "udp-ping" -> Ok (Udp_ping, bytes, expect, duration)
+                        | "tcp-stream" -> Ok (Tcp_stream, bytes, expect, duration)
+                        | "rether" -> Ok (Rether_ring, bytes, expect, duration)
+                        | "idle" -> Ok (Idle, bytes, expect, duration)
+                        | _ -> Error (Printf.sprintf "bad workload %S" v))
+                    | [ "bytes"; v ] -> (
+                        match int_of_string_opt v with
+                        | Some n -> Ok (workload, n, expect, duration)
+                        | None -> Error (Printf.sprintf "bad bytes %S" v))
+                    | [ "expect"; "pass" ] -> Ok (workload, bytes, `Pass, duration)
+                    | [ "expect"; "fail" ] -> Ok (workload, bytes, `Fail, duration)
+                    | [ "duration"; v ] -> (
+                        match float_of_string_opt v with
+                        | Some d -> Ok (workload, bytes, expect, d)
+                        | None -> Error (Printf.sprintf "bad duration %S" v))
+                    | _ -> Error (Printf.sprintf "bad directive %S" kv)))
+              (Ok (workload, bytes, expect, duration))
+              kvs
+          else acc)
+    (Ok defaults) lines
+
+let suite_cmd =
+  let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let stop_arg =
+    Arg.(value & flag & info [ "stop-on-failure" ] ~doc:"Stop at the first failing case.")
+  in
+  let run dir stop_on_failure =
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".fsl")
+      |> List.sort compare
+    in
+    if files = [] then begin
+      Printf.eprintf "no .fsl files in %s\n" dir;
+      1
+    end
+    else begin
+      let cases =
+        List.filter_map
+          (fun file ->
+            let path = Filename.concat dir file in
+            let src = read_file path in
+            match parse_directives src with
+            | Error e ->
+                Printf.eprintf "%s: %s\n" file e;
+                None
+            | Ok (workload, bytes, expect, duration) ->
+                Some
+                  (Vw_core.Suite.case ~name:file ~script:src
+                     ~max_duration:(Vw_sim.Simtime.sec duration)
+                     ~expect
+                     ~workload:(make_workload workload ~bytes)
+                     ()))
+          files
+      in
+      let report = Vw_core.Suite.run ~stop_on_failure cases in
+      Format.printf "%a@." Vw_core.Suite.pp_report report;
+      if Vw_core.Suite.ok report then 0 else 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Run every .fsl script in a directory as a regression suite. \
+          Scripts choose their workload with '# vwctl:' directive comments.")
+    Term.(const run $ dir_arg $ stop_arg)
+
+(* --- script --- *)
+
+let script_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("figure5", `F5); ("figure6", `F6) ])) None
+      & info [] ~docv:"NAME")
+  in
+  let run which =
+    print_string
+      (match which with
+      | `F5 -> Vw_scripts.tcp_ss_ca
+      | `F6 -> Vw_scripts.rether_failure);
+    0
+  in
+  Cmd.v
+    (Cmd.info "script"
+       ~doc:"Print one of the paper's embedded scenario scripts.")
+    Term.(const run $ which_arg)
+
+let () =
+  let doc = "network fault injection and analysis (VirtualWire, ICDCS 2003)" in
+  let info = Cmd.info "vwctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ check_cmd; parse_cmd; run_cmd; suite_cmd; script_cmd ]))

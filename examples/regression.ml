@@ -1,0 +1,130 @@
+(* Regression testing: one scenario library, many protocol versions.
+   Run with: dune exec examples/regression.exe
+
+   The paper's motivation section complains that with ad-hoc kernel
+   instrumentation "each new release of the same protocol often requires
+   recreating the test cases afresh". This example is the counterpoint: a
+   small scenario suite (the Figure 5 congestion test plus two extra
+   invariant checks) is run unchanged against a matrix of TCP builds, like
+   a CI job would. *)
+
+open Vw_sim
+module Tcp = Vw_tcp.Tcp
+module Host = Vw_stack.Host
+module Testbed = Vw_core.Testbed
+module Scenario = Vw_core.Scenario
+
+(* An extra scenario: under a lossy spell (we drop a window of data
+   packets), the sender must retransmit — the wire must show at most a
+   bounded number of data packets while the drops are active, and traffic
+   must resume after. Expressible entirely as counters. *)
+let loss_recovery_script =
+  {|
+FILTER_TABLE
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+TCP_ack: (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:46:61:af:fe:23 192.168.1.1
+node2 00:23:31:df:af:12 192.168.1.2
+END
+SCENARIO loss_recovery
+DATA_AT_RCV: (TCP_data, node1, node2, RECV)
+(TRUE) >> ENABLE_CNTR( DATA_AT_RCV );
+/* eat packets 20..24 at the receiver: the sender must recover */
+((DATA_AT_RCV >= 20) && (DATA_AT_RCV < 25)) >> DROP( TCP_data, node1, node2, RECV );
+/* if recovery works, the receiver eventually sees the full stream */
+((DATA_AT_RCV = 60)) >> STOP;
+END
+|}
+
+(* A liveness scenario: the connection must actually move data — guards
+   against a build that wedges silently. *)
+let liveness_script =
+  {|
+FILTER_TABLE
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:46:61:af:fe:23 192.168.1.1
+node2 00:23:31:df:af:12 192.168.1.2
+END
+SCENARIO liveness 2sec
+DATA: (TCP_data, node1, node2, RECV)
+(TRUE) >> ENABLE_CNTR( DATA );
+((DATA = 40)) >> STOP;
+END
+|}
+
+let scenarios =
+  [
+    ("figure-5 congestion model", Vw_scripts.tcp_ss_ca, 30_000);
+    ("loss recovery", loss_recovery_script, 60_000);
+    ("liveness", liveness_script, 60_000);
+  ]
+
+let versions =
+  [
+    ("v1.0 (correct)", Tcp.default_config);
+    ( "v1.1 (drops congestion avoidance)",
+      { Tcp.default_config with broken_no_congestion_avoidance = true } );
+    ( "v1.2 (ignores cwnd)",
+      { Tcp.default_config with broken_ignore_cwnd = true } );
+    ("v2.0 (correct, mss 536)", { Tcp.default_config with mss = 536 });
+  ]
+
+let run_one ~script ~config ~bytes =
+  let tables =
+    match Vw_fsl.Compile.parse_and_compile script with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let testbed = Testbed.of_node_table tables in
+  let workload tb =
+    let node1 = Testbed.node tb "node1" in
+    let node2 = Testbed.node tb "node2" in
+    ignore
+      (Tcp.listen (Testbed.tcp node2) ~port:0x4000 ~on_accept:(fun conn ->
+           Tcp.on_data conn (fun _ -> ())));
+    let conn =
+      Tcp.connect ~config (Testbed.tcp node1) ~src_port:0x6000
+        ~dst:(Host.ip (Testbed.host node2))
+        ~dst_port:0x4000
+    in
+    Tcp.on_established conn (fun () -> Tcp.send conn (Bytes.create bytes))
+  in
+  match
+    Scenario.run testbed ~script ~max_duration:(Simtime.sec 30.0) ~workload
+  with
+  | Error e -> failwith e
+  | Ok result -> result
+
+let () =
+  Printf.printf "%-36s" "";
+  List.iter (fun (name, _, _) -> Printf.printf " %-26s" name) scenarios;
+  print_newline ();
+  List.iter
+    (fun (version, config) ->
+      Printf.printf "%-36s" version;
+      List.iter
+        (fun (_, script, bytes) ->
+          let result = run_one ~script ~config ~bytes in
+          let cell =
+            if Scenario.passed result then "PASS"
+            else
+              Printf.sprintf "FAIL(%s%s)"
+                (match result.Scenario.outcome with
+                | Scenario.Timed_out -> "timeout"
+                | Scenario.Stopped | Scenario.Ran_to_limit -> "errors")
+                (match result.Scenario.errors with
+                | [] -> ""
+                | errs -> Printf.sprintf ",%d" (List.length errs))
+          in
+          Printf.printf " %-26s" cell)
+        scenarios;
+      print_newline ())
+    versions;
+  print_newline ();
+  print_endline
+    "Every cell reused the same scripts verbatim — regression testing of\n\
+     protocol implementations without touching their code."

@@ -1,0 +1,28 @@
+(** An in-testbed `ping`: ICMP echo round-trips with loss/RTT accounting.
+
+    Useful both as a workload and as measurement plumbing (the Figure 8
+    experiment uses a UDP echo; this is the ICMP equivalent a real testbed
+    operator would reach for first). *)
+
+type stats = {
+  transmitted : int;
+  received : int;
+  unreachable : int;
+  rtts : Vw_util.Stats.t;  (** seconds *)
+}
+
+val loss_pct : stats -> float
+
+val run :
+  ?count:int ->
+  ?interval:Vw_sim.Simtime.t ->
+  ?payload_size:int ->
+  ?timeout:Vw_sim.Simtime.t ->
+  Vw_stack.Host.t ->
+  dst:Vw_net.Ip_addr.t ->
+  (stats -> unit) ->
+  unit
+(** [run host ~dst k] sends [count] (default 5) echo requests [interval]
+    (default 10 ms) apart and calls [k] once all are answered or [timeout]
+    (default 1 s) after the last transmission. Replaces the host's ICMP
+    observer while running. *)

@@ -1,0 +1,55 @@
+(** Scenario execution: the whole paper pipeline in one call.
+
+    [run] compiles the script on the control node, deploys the six tables
+    over the control plane, starts the scenario, kicks the user's workload,
+    and drives the simulation until one of:
+
+    - a STOP action fires anywhere ([Stopped]);
+    - the script's inactivity timeout elapses with no monitored packet
+      event ([Timed_out] — Figure 6 treats this as test failure);
+    - the wall [max_duration] is reached ([Ran_to_limit] — the normal end
+      for scenarios without STOP, like Figure 5's).
+
+    Every FLAG_ERROR report is collected into the result. A scenario
+    "passes" when no errors were flagged and it did not time out. *)
+
+type outcome = Stopped | Timed_out | Ran_to_limit
+
+type error = { err_node : string; err_rule : int }
+
+type result = {
+  scenario_name : string;
+  outcome : outcome;
+  errors : error list;
+  duration : Vw_sim.Simtime.t;  (** simulated time consumed *)
+  trace_length : int;
+}
+
+val passed : result -> bool
+
+val outcome_to_string : outcome -> string
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?controller:string ->
+  ?max_duration:Vw_sim.Simtime.t ->
+  ?workload:(Testbed.t -> unit) ->
+  Testbed.t ->
+  script:string ->
+  (result, string) Stdlib.result
+(** [run testbed ~script] — [controller] names the control node (default:
+    the script's first node); [max_duration] defaults to 60 simulated
+    seconds; [workload] runs just after START reaches the nodes (connect
+    sockets, start protocols, …).
+
+    The same testbed can host successive runs ([Fie.reset] happens
+    automatically), which is how the regression example reuses one script
+    across protocol versions. *)
+
+val deploy_only :
+  ?controller:string ->
+  Testbed.t ->
+  script:string ->
+  (Vw_engine.Controller.t * Vw_fsl.Tables.t, string) Stdlib.result
+(** Lower-level entry: compile + deploy + START, but leave driving the
+    simulation to the caller (used by benches that pump their own load). *)

@@ -1,0 +1,84 @@
+type case = {
+  c_name : string;
+  c_script : string;
+  c_workload : Testbed.t -> unit;
+  c_max_duration : Vw_sim.Simtime.t;
+  c_expect : [ `Pass | `Fail ];
+  c_config : Testbed.config option;
+}
+
+let case ?(max_duration = Vw_sim.Simtime.sec 60.0) ?(expect = `Pass) ?config
+    ~name ~script ~workload () =
+  {
+    c_name = name;
+    c_script = script;
+    c_workload = workload;
+    c_max_duration = max_duration;
+    c_expect = expect;
+    c_config = config;
+  }
+
+type outcome = {
+  o_name : string;
+  o_result : (Scenario.result, string) result;
+  o_expected : [ `Pass | `Fail ];
+  o_ok : bool;
+}
+
+type report = { outcomes : outcome list; passed : int; failed : int }
+
+let run_case c =
+  match Vw_fsl.Compile.parse_and_compile c.c_script with
+  | Error e -> Error e
+  | Ok tables ->
+      let testbed = Testbed.of_node_table ?config:c.c_config tables in
+      Scenario.run testbed ~script:c.c_script ~max_duration:c.c_max_duration
+        ~workload:c.c_workload
+
+let run ?(stop_on_failure = false) cases =
+  let rec go acc cases =
+    match cases with
+    | [] -> List.rev acc
+    | c :: rest ->
+        let o_result = run_case c in
+        let o_ok =
+          match (o_result, c.c_expect) with
+          | Ok r, `Pass -> Scenario.passed r
+          | Ok r, `Fail -> not (Scenario.passed r)
+          | Error _, (`Pass | `Fail) -> false
+        in
+        let outcome =
+          { o_name = c.c_name; o_result; o_expected = c.c_expect; o_ok }
+        in
+        if stop_on_failure && not o_ok then List.rev (outcome :: acc)
+        else go (outcome :: acc) rest
+  in
+  let outcomes = go [] cases in
+  {
+    outcomes;
+    passed = List.length (List.filter (fun o -> o.o_ok) outcomes);
+    failed = List.length (List.filter (fun o -> not o.o_ok) outcomes);
+  }
+
+let ok report = report.failed = 0
+
+let pp_report ppf report =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun o ->
+      let detail =
+        match o.o_result with
+        | Error e -> "error: " ^ e
+        | Ok r ->
+            Printf.sprintf "%s, %d errors, %.3fs"
+              (Scenario.outcome_to_string r.Scenario.outcome)
+              (List.length r.Scenario.errors)
+              (Vw_sim.Simtime.to_sec r.Scenario.duration)
+      in
+      Format.fprintf ppf "%-6s %-32s (expected %s; %s)@,"
+        (if o.o_ok then "OK" else "FAILED")
+        o.o_name
+        (match o.o_expected with `Pass -> "pass" | `Fail -> "fail")
+        detail)
+    report.outcomes;
+  Format.fprintf ppf "%d passed, %d failed@]" report.passed report.failed

@@ -1,0 +1,39 @@
+(** Batch scenario execution.
+
+    "This trace filtering capability makes it possible to run through a
+    large number of test cases without human intervention, a particularly
+    important feature for regression testing" (paper §1). A suite is a list
+    of named cases — script + workload + expectation — each run on a fresh
+    testbed built from its own node table. Negative cases ([`Fail]) are
+    first-class: a test that must flag an error counts as OK only when it
+    does. *)
+
+type case
+
+val case :
+  ?max_duration:Vw_sim.Simtime.t ->
+  ?expect:[ `Pass | `Fail ] ->
+  ?config:Testbed.config ->
+  name:string ->
+  script:string ->
+  workload:(Testbed.t -> unit) ->
+  unit ->
+  case
+(** Defaults: 60 s budget, [`Pass] expected, default testbed config. *)
+
+type outcome = {
+  o_name : string;
+  o_result : (Scenario.result, string) result;
+      (** [Error] = script did not compile / testbed mismatch *)
+  o_expected : [ `Pass | `Fail ];
+  o_ok : bool;  (** verdict matched the expectation *)
+}
+
+type report = { outcomes : outcome list; passed : int; failed : int }
+
+val run : ?stop_on_failure:bool -> case list -> report
+(** Runs the cases in order. With [stop_on_failure] (default false) the
+    remaining cases are skipped after the first mismatch. *)
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,145 @@
+type topology = Star | Shared_bus
+
+type config = {
+  seed : int;
+  link : Vw_link.Link.config;
+  topology : topology;
+  rll : Vw_rll.Rll.config option;
+  arp : Vw_stack.Arp.config option;
+      (* Some: dynamic resolution instead of static neighbor tables *)
+  trace_capacity : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    link = Vw_link.Link.default_config;
+    topology = Star;
+    rll = None;
+    arp = None;
+    trace_capacity = 1_000_000;
+  }
+
+type node = {
+  node_name : string;
+  node_host : Vw_stack.Host.t;
+  node_fie : Vw_engine.Fie.t;
+  node_rll : Vw_rll.Rll.t option;
+  node_arp : Vw_stack.Arp.t option;
+  node_link : Vw_link.Link.t option;
+  mutable node_tcp : Vw_tcp.Tcp.stack option;
+}
+
+type t = {
+  engine : Vw_sim.Engine.t;
+  trace : Trace.t;
+  all : node list;
+  by_name : (string, node) Hashtbl.t;
+  switch : Vw_link.Switch.t option;
+  bus : Vw_link.Bus.t option;
+}
+
+let engine t = t.engine
+let trace t = t.trace
+let nodes t = t.all
+let node t name = Hashtbl.find t.by_name name
+let node_names t = List.map (fun n -> n.node_name) t.all
+let name n = n.node_name
+let host n = n.node_host
+let fie n = n.node_fie
+let rll n = n.node_rll
+let link n = n.node_link
+let arp n = n.node_arp
+let switch t = t.switch
+let bus t = t.bus
+
+let tcp n =
+  match n.node_tcp with
+  | Some stack -> stack
+  | None ->
+      let stack = Vw_tcp.Tcp.attach n.node_host in
+      n.node_tcp <- Some stack;
+      stack
+
+let create ?(config = default_config) specs =
+  let engine = Vw_sim.Engine.create ~seed:config.seed () in
+  let trace = Trace.create ~capacity:config.trace_capacity () in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _, _) ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Testbed.create: duplicate node %S" n);
+      Hashtbl.replace seen n ())
+    specs;
+  let switch, bus, attach_host =
+    match config.topology with
+    | Star ->
+        let sw = Vw_link.Switch.create engine () in
+        ( Some sw,
+          None,
+          fun host ->
+            let l = Vw_link.Link.create engine config.link in
+            Vw_stack.Host.attach host
+              (Vw_link.Netif.of_link_endpoint (Vw_link.Link.endpoint_a l));
+            ignore (Vw_link.Switch.attach sw (Vw_link.Link.endpoint_b l));
+            Some l )
+    | Shared_bus ->
+        let bus_config =
+          {
+            Vw_link.Bus.bandwidth_bps = config.link.bandwidth_bps;
+            propagation = config.link.propagation;
+            loss_rate = config.link.loss_rate;
+            corrupt_rate = config.link.corrupt_rate;
+            max_queue = config.link.max_queue;
+          }
+        in
+        let bus = Vw_link.Bus.create engine bus_config ~n:(List.length specs) in
+        let next = ref 0 in
+        ( None,
+          Some bus,
+          fun host ->
+            let ep = Vw_link.Bus.endpoint bus !next in
+            incr next;
+            Vw_stack.Host.attach host (Vw_link.Netif.of_bus_endpoint ep);
+            None )
+  in
+  let mk (node_name, mac, ip) =
+    let node_host = Vw_stack.Host.create engine ~name:node_name ~mac ~ip in
+    let node_link = attach_host node_host in
+    let node_fie = Vw_engine.Fie.install node_host in
+    let node_rll =
+      Option.map (fun cfg -> Vw_rll.Rll.install ~config:cfg node_host) config.rll
+    in
+    let node_arp =
+      Option.map (fun cfg -> Vw_stack.Arp.attach ~config:cfg node_host) config.arp
+    in
+    Vw_stack.Host.set_tap node_host (fun ~dir frame ->
+        Trace.record trace
+          ~time:(Vw_sim.Engine.now engine)
+          ~node:node_name ~dir frame);
+    { node_name; node_host; node_fie; node_rll; node_arp; node_link;
+      node_tcp = None }
+  in
+  let all = List.map mk specs in
+  (* static neighbor tables, unless ARP resolves dynamically *)
+  if config.arp = None then
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a != b then
+              Vw_stack.Host.add_neighbor a.node_host
+                (Vw_stack.Host.ip b.node_host)
+                (Vw_stack.Host.mac b.node_host))
+          all)
+      all;
+  let by_name = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace by_name n.node_name n) all;
+  { engine; trace; all; by_name; switch; bus }
+
+let of_node_table ?config (tables : Vw_fsl.Tables.t) =
+  create ?config
+    (Array.to_list tables.Vw_fsl.Tables.nodes
+    |> List.map (fun (n : Vw_fsl.Tables.node_entry) -> (n.nname, n.nmac, n.nip)))
+
+let run t ?until () = Vw_sim.Engine.run ?until t.engine

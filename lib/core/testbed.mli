@@ -1,0 +1,63 @@
+(** Testbed construction: hosts on a switched (or shared-bus) LAN with the
+    VirtualWire engine installed on every node.
+
+    This mirrors the paper's setup (§3.1, §6): host machines connected by a
+    100 Mbps switch, the FIE/FAE inserted between driver and IP stack on
+    each, optionally with the RLL below it. Node identities (name, MAC, IP)
+    can be given explicitly or taken from a compiled script's node table —
+    the latter keeps scripts and testbeds consistent by construction. *)
+
+type topology =
+  | Star  (** one switch, a point-to-point link per host (the default) *)
+  | Shared_bus  (** all hosts on one half-duplex segment (hub / coax) *)
+
+type config = {
+  seed : int;
+  link : Vw_link.Link.config;
+  topology : topology;
+  rll : Vw_rll.Rll.config option;  (** [Some _] installs RLL on every host *)
+  arp : Vw_stack.Arp.config option;
+      (** [Some _] resolves neighbors dynamically with ARP instead of
+          installing static tables *)
+  trace_capacity : int;
+}
+
+val default_config : config
+(** Star of 100 Mbps full-duplex links, no RLL, seed 42. *)
+
+type t
+type node
+
+val create : ?config:config -> (string * Vw_net.Mac.t * Vw_net.Ip_addr.t) list -> t
+(** Build hosts, attach them to the topology, install a FIE on each, give
+    every host a full neighbor (ARP) table, and tap every NIC into the
+    shared trace. @raise Invalid_argument on duplicate names. *)
+
+val of_node_table : ?config:config -> Vw_fsl.Tables.t -> t
+(** Testbed with exactly the script's nodes. *)
+
+val engine : t -> Vw_sim.Engine.t
+val trace : t -> Trace.t
+val nodes : t -> node list
+val node : t -> string -> node
+(** @raise Not_found *)
+
+val node_names : t -> string list
+val name : node -> string
+val host : node -> Vw_stack.Host.t
+val fie : node -> Vw_engine.Fie.t
+val rll : node -> Vw_rll.Rll.t option
+val arp : node -> Vw_stack.Arp.t option
+val link : node -> Vw_link.Link.t option
+(** The host's uplink ([None] on a shared bus). *)
+
+val switch : t -> Vw_link.Switch.t option
+
+val bus : t -> Vw_link.Bus.t option
+(** The shared segment, for [Shared_bus] topologies. *)
+
+val tcp : node -> Vw_tcp.Tcp.stack
+(** The node's TCP stack (attached lazily, once). *)
+
+val run : t -> ?until:Vw_sim.Simtime.t -> unit -> unit
+(** Convenience: run the simulation. *)

@@ -1,0 +1,52 @@
+type entry = {
+  time : Vw_sim.Simtime.t;
+  node : string;
+  dir : [ `In | `Out ];
+  frame : Vw_net.Eth.t;
+}
+
+type t = {
+  capacity : int;
+  mutable items : entry list; (* newest first *)
+  mutable count : int;
+  mutable truncated : bool;
+}
+
+let create ?(capacity = 1_000_000) () =
+  { capacity; items = []; count = 0; truncated = false }
+
+let record t ~time ~node ~dir frame =
+  if t.count >= t.capacity then t.truncated <- true
+  else begin
+    t.items <- { time; node; dir; frame } :: t.items;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.items
+let length t = t.count
+let truncated t = t.truncated
+
+let clear t =
+  t.items <- [];
+  t.count <- 0;
+  t.truncated <- false
+
+let filter t pred = List.filter pred (entries t)
+
+let count t ?node ?dir pred =
+  List.length
+    (filter t (fun e ->
+         (match node with Some n -> String.equal n e.node | None -> true)
+         && (match dir with Some d -> d = e.dir | None -> true)
+         && pred (Vw_net.Frame_view.of_frame e.frame)))
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a %-8s %s %s" Vw_sim.Simtime.pp e.time e.node
+    (match e.dir with `In -> "<" | `Out -> ">")
+    (Vw_net.Frame_view.describe (Vw_net.Frame_view.of_frame e.frame))
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) (entries t);
+  if t.truncated then Format.fprintf ppf "... (trace truncated)@,";
+  Format.pp_close_box ppf ()

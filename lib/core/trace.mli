@@ -1,0 +1,42 @@
+(** Packet trace capture — the tcpdump replacement.
+
+    The paper's motivation includes replacing "collecting tcpdump traces and
+    inspecting them manually". While the FAE's analysis rules remove most of
+    that need, the trace is still the ground truth tests and humans fall
+    back on. Every testbed host gets a promiscuous tap at the NIC boundary;
+    entries record the simulated time, the node, the direction, and the
+    frame. *)
+
+type entry = {
+  time : Vw_sim.Simtime.t;
+  node : string;
+  dir : [ `In | `Out ];
+  frame : Vw_net.Eth.t;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds memory (default 1_000_000 entries; older entries are
+    dropped beyond it and [truncated] turns true). *)
+
+val record :
+  t -> time:Vw_sim.Simtime.t -> node:string -> dir:[ `In | `Out ] ->
+  Vw_net.Eth.t -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+val truncated : t -> bool
+val clear : t -> unit
+
+val filter : t -> (entry -> bool) -> entry list
+
+val count : t -> ?node:string -> ?dir:[ `In | `Out ] ->
+  (Vw_net.Frame_view.t -> bool) -> int
+(** Count captured frames whose decoded view satisfies the predicate. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+(** Whole trace, one line per entry, tcpdump-style. *)

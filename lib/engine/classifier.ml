@@ -1,0 +1,25 @@
+open Vw_fsl.Tables
+
+let tuple_matches (tuple : tuple) ~bindings data =
+  match tuple.t_pat with
+  | Bytes_pattern pattern ->
+      Vw_util.Hexutil.masked_equal data ~pos:tuple.t_offset ~pattern
+        ~mask:tuple.t_mask
+  | Var_pattern vid -> (
+      match bindings.(vid) with
+      | None -> false
+      | Some pattern ->
+          Vw_util.Hexutil.masked_equal data ~pos:tuple.t_offset ~pattern
+            ~mask:tuple.t_mask)
+
+let filter_matches (f : filter_entry) ~bindings data =
+  List.for_all (fun tuple -> tuple_matches tuple ~bindings data) f.f_tuples
+
+let classify (t : t) ~bindings data =
+  let n = Array.length t.filters in
+  let rec go i =
+    if i = n then None
+    else if filter_matches t.filters.(i) ~bindings data then Some i
+    else go (i + 1)
+  in
+  go 0

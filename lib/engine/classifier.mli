@@ -1,0 +1,21 @@
+(** The packet classifier: match raw frame bytes against the filter table.
+
+    Filters are tried in declaration order and the first match wins, as in
+    the paper ("The priority of the filter rules is in descending order of
+    occurrence. If a match is found with one rule then there is no need to
+    match the subsequent rules."). A tuple with an unbound variable never
+    matches; a bound variable behaves as a literal pattern (see DESIGN.md).
+
+    The linear scan is intentional — Figure 8 measures exactly this cost
+    ("the current VirtualWire implementation searches linearly through the
+    packet type definitions"). *)
+
+val tuple_matches :
+  Vw_fsl.Tables.tuple -> bindings:bytes option array -> bytes -> bool
+
+val filter_matches :
+  Vw_fsl.Tables.filter_entry -> bindings:bytes option array -> bytes -> bool
+
+val classify :
+  Vw_fsl.Tables.t -> bindings:bytes option array -> bytes -> int option
+(** [classify tables ~bindings frame_bytes] is the first matching filter id. *)

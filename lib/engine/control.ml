@@ -1,0 +1,88 @@
+module W = Vw_fsl.Wire.W
+module R = Vw_fsl.Wire.R
+
+type msg =
+  | Init of { controller_nid : int; tables : bytes }
+  | Start
+  | Counter_update of { cid : int; value : int }
+  | Term_status of { tid : int; status : bool }
+  | Var_bind of { vid : int; value : bytes }
+  | Report_stop of { nid : int }
+  | Report_error of { nid : int; rule : int }
+
+let to_payload msg =
+  let w = W.create () in
+  (match msg with
+  | Init { controller_nid; tables } ->
+      W.u8 w 0;
+      W.u16 w controller_nid;
+      W.bytes w tables
+  | Start -> W.u8 w 1
+  | Counter_update { cid; value } ->
+      W.u8 w 2;
+      W.u16 w cid;
+      W.i64 w value
+  | Term_status { tid; status } ->
+      W.u8 w 3;
+      W.u16 w tid;
+      W.bool w status
+  | Var_bind { vid; value } ->
+      W.u8 w 4;
+      W.u16 w vid;
+      W.bytes w value
+  | Report_stop { nid } ->
+      W.u8 w 5;
+      W.u16 w nid
+  | Report_error { nid; rule } ->
+      W.u8 w 6;
+      W.u16 w nid;
+      (* rule -1 marks engine-internal errors (cascade overflow) *)
+      W.u16 w (rule land 0xffff));
+  W.contents w
+
+let of_payload b =
+  try
+    let r = R.of_bytes b in
+    let msg =
+      match R.u8 r with
+      | 0 ->
+          let controller_nid = R.u16 r in
+          Init { controller_nid; tables = R.bytes r }
+      | 1 -> Start
+      | 2 ->
+          let cid = R.u16 r in
+          Counter_update { cid; value = R.i64 r }
+      | 3 ->
+          let tid = R.u16 r in
+          Term_status { tid; status = R.bool r }
+      | 4 ->
+          let vid = R.u16 r in
+          Var_bind { vid; value = R.bytes r }
+      | 5 -> Report_stop { nid = R.u16 r }
+      | 6 ->
+          let nid = R.u16 r in
+          let rule = R.u16 r in
+          Report_error { nid; rule = (if rule = 0xffff then -1 else rule) }
+      | n -> raise (R.Underflow (Printf.sprintf "bad control tag %d" n))
+    in
+    Ok msg
+  with R.Underflow what -> Error (Printf.sprintf "control: %s" what)
+
+let to_frame ~src ~dst msg =
+  Vw_net.Eth.make ~dst ~src ~ethertype:Vw_net.Eth.ethertype_vw_control
+    (to_payload msg)
+
+let pp ppf = function
+  | Init { controller_nid; tables } ->
+      Format.fprintf ppf "INIT(controller=n%d, %d table bytes)" controller_nid
+        (Bytes.length tables)
+  | Start -> Format.pp_print_string ppf "START"
+  | Counter_update { cid; value } ->
+      Format.fprintf ppf "COUNTER_UPDATE(c%d=%d)" cid value
+  | Term_status { tid; status } ->
+      Format.fprintf ppf "TERM_STATUS(t%d=%b)" tid status
+  | Var_bind { vid; value } ->
+      Format.fprintf ppf "VAR_BIND(v%d=0x%s)" vid (Vw_util.Hexutil.to_hex value)
+  | Report_stop { nid } -> Format.fprintf ppf "REPORT_STOP(n%d)" nid
+  | Report_error { nid; rule } ->
+      Format.fprintf ppf "REPORT_ERROR(n%d, rule %d)" nid rule

@@ -1,0 +1,36 @@
+(** The control-plane protocol of Section 5.2.
+
+    "The distributed evaluation and execution in VirtualWire is supported by
+    a control plane protocol that coordinates among the FIEs across multiple
+    hosts. The control plane messages are implemented as payloads of raw
+    Ethernet frames."
+
+    Message kinds:
+    - [Init]: the control node ships the serialized six tables (plus its own
+      node id, so engines know where to send reports);
+    - [Start]: begin the scenario (fires the TRUE rules);
+    - [Counter_update]: a counter's authoritative value changed and a remote
+      node evaluates a term over it;
+    - [Term_status]: a term's truth value changed and a remote node
+      evaluates a condition over it;
+    - [Var_bind]: a BIND_VAR action ran; filter variables are global, so
+      bindings are broadcast;
+    - [Report_stop] / [Report_error]: a node executed STOP / FLAG_ERROR;
+      sent to the control node. *)
+
+type msg =
+  | Init of { controller_nid : int; tables : bytes }
+  | Start
+  | Counter_update of { cid : int; value : int }
+  | Term_status of { tid : int; status : bool }
+  | Var_bind of { vid : int; value : bytes }
+  | Report_stop of { nid : int }
+  | Report_error of { nid : int; rule : int }
+
+val to_payload : msg -> bytes
+val of_payload : bytes -> (msg, string) result
+
+val to_frame : src:Vw_net.Mac.t -> dst:Vw_net.Mac.t -> msg -> Vw_net.Eth.t
+(** Wraps in an Ethernet frame with ethertype 0x88B6. *)
+
+val pp : Format.formatter -> msg -> unit

@@ -1,0 +1,687 @@
+let src = Logs.Src.create "vw.fie" ~doc:"Fault Injection/Analysis Engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Tables = Vw_fsl.Tables
+module Ast = Vw_fsl.Ast
+
+type report =
+  | Stop_report of { nid : int }
+  | Error_report of { nid : int; rule : int }
+
+type stats = {
+  mutable packets_inspected : int;
+  mutable packets_matched : int;
+  mutable counter_updates : int;
+  mutable terms_evaluated : int;
+  mutable conditions_evaluated : int;
+  mutable actions_executed : int;
+  mutable control_sent : int;
+  mutable control_received : int;
+  mutable faults_drop : int;
+  mutable faults_delay : int;
+  mutable faults_reorder : int;
+  mutable faults_dup : int;
+  mutable faults_modify : int;
+  mutable cascade_overflows : int;
+}
+
+let new_stats () =
+  {
+    packets_inspected = 0;
+    packets_matched = 0;
+    counter_updates = 0;
+    terms_evaluated = 0;
+    conditions_evaluated = 0;
+    actions_executed = 0;
+    control_sent = 0;
+    control_received = 0;
+    faults_drop = 0;
+    faults_delay = 0;
+    faults_reorder = 0;
+    faults_dup = 0;
+    faults_modify = 0;
+    cascade_overflows = 0;
+  }
+
+(* A fault action of this node, precomputed at init for the per-packet
+   check. *)
+type armed_fault = {
+  af_did : int; (* owning condition *)
+  af_aid : int;
+  af_spec : Tables.fspec;
+  af_kind :
+    [ `Drop
+    | `Delay of Vw_sim.Simtime.t
+    | `Reorder of int * int array
+    | `Dup
+    | `Modify of (int * bytes) option ];
+}
+
+type runtime = {
+  tables : Tables.t;
+  controller_nid : int;
+  nid : int;
+  counter_values : int array;
+  counter_enabled : bool array;
+  term_status : bool array;
+  cond_status : bool array;
+  bindings : bytes option array;
+  my_faults : armed_fault list; (* in action-id order *)
+  reorder_buffers : (int, Vw_net.Eth.t Queue.t) Hashtbl.t;
+  mutable started : bool;
+  mutable last_match : Vw_sim.Simtime.t option;
+}
+
+type cost_model = {
+  cost_base : Vw_sim.Simtime.t;
+  cost_per_filter : Vw_sim.Simtime.t;
+  cost_per_action : Vw_sim.Simtime.t;
+}
+
+type t = {
+  hst : Vw_stack.Host.t;
+  stats : stats;
+  mutable rt : runtime option;
+  mutable report_handler : report -> unit;
+  mutable egress_hook : Vw_stack.Host.hook_id option;
+  mutable ingress_hook : Vw_stack.Host.hook_id option;
+  mutable cost : cost_model option;
+}
+
+let host t = t.hst
+let stats t = t.stats
+let initialized t = t.rt <> None
+let started t = match t.rt with Some rt -> rt.started | None -> false
+let my_nid t = Option.map (fun rt -> rt.nid) t.rt
+let set_report_handler t fn = t.report_handler <- fn
+
+let last_match_time t =
+  match t.rt with Some rt -> rt.last_match | None -> None
+
+let counter_lookup t name =
+  match t.rt with
+  | None -> None
+  | Some rt -> (
+      match Tables.counter_by_name rt.tables name with
+      | Some c -> Some (rt, c.Tables.cid)
+      | None -> None)
+
+let counter_value t name =
+  Option.map (fun (rt, cid) -> rt.counter_values.(cid)) (counter_lookup t name)
+
+let counter_enabled t name =
+  Option.map (fun (rt, cid) -> rt.counter_enabled.(cid)) (counter_lookup t name)
+
+let counters t =
+  match t.rt with
+  | None -> []
+  | Some rt ->
+      Array.to_list rt.tables.Tables.counters
+      |> List.map (fun (c : Tables.counter_entry) ->
+             ( c.cname,
+               rt.counter_values.(c.cid),
+               rt.counter_enabled.(c.cid) ))
+
+let condition_status t did =
+  match t.rt with
+  | Some rt when did >= 0 && did < Array.length rt.cond_status ->
+      Some (rt.cond_status.(did))
+  | _ -> None
+
+let now t = Vw_sim.Engine.now (Vw_stack.Host.engine t.hst)
+
+(* --- term & condition evaluation --- *)
+
+let eval_term rt (term : Tables.term_entry) =
+  let left = rt.counter_values.(term.left) in
+  let right =
+    match term.right with
+    | Tables.Num n -> n
+    | Tables.Cnt cid -> rt.counter_values.(cid)
+  in
+  match term.op with
+  | Ast.Lt -> left < right
+  | Ast.Le -> left <= right
+  | Ast.Gt -> left > right
+  | Ast.Ge -> left >= right
+  | Ast.Eq -> left = right
+  | Ast.Ne -> left <> right
+
+let rec eval_expr rt = function
+  | Tables.C_true -> true
+  | Tables.C_term tid -> rt.term_status.(tid)
+  | Tables.C_and (a, b) -> eval_expr rt a && eval_expr rt b
+  | Tables.C_or (a, b) -> eval_expr rt a || eval_expr rt b
+  | Tables.C_not a -> not (eval_expr rt a)
+
+(* --- control-plane sending --- *)
+
+let rec send_control t ~dst_nid msg =
+  match t.rt with
+  | None -> ()
+  | Some rt ->
+      if dst_nid = rt.nid then process_control t msg
+      else begin
+        t.stats.control_sent <- t.stats.control_sent + 1;
+        let dst = rt.tables.Tables.nodes.(dst_nid).Tables.nmac in
+        let frame =
+          Control.to_frame ~src:(Vw_stack.Host.mac t.hst) ~dst msg
+        in
+        Vw_stack.Host.send_frame t.hst frame
+      end
+
+and report t report_value =
+  match t.rt with
+  | None -> ()
+  | Some rt ->
+      let msg =
+        match report_value with
+        | Stop_report { nid } -> Control.Report_stop { nid }
+        | Error_report { nid; rule } -> Control.Report_error { nid; rule }
+      in
+      if rt.nid = rt.controller_nid then t.report_handler report_value
+      else send_control t ~dst_nid:rt.controller_nid msg
+
+(* --- action execution --- *)
+
+and execute_action t rt (entry : Tables.action_entry) ~changed =
+  t.stats.actions_executed <- t.stats.actions_executed + 1;
+  let set_value cid v =
+    if rt.counter_values.(cid) <> v then begin
+      rt.counter_values.(cid) <- v;
+      t.stats.counter_updates <- t.stats.counter_updates + 1;
+      if not (List.mem cid !changed) then changed := cid :: !changed
+    end
+  in
+  match entry.act with
+  | Tables.A_assign (cid, v) ->
+      rt.counter_enabled.(cid) <- true;
+      set_value cid v
+  | Tables.A_enable cid -> rt.counter_enabled.(cid) <- true
+  | Tables.A_disable cid -> rt.counter_enabled.(cid) <- false
+  | Tables.A_incr (cid, v) -> set_value cid (rt.counter_values.(cid) + v)
+  | Tables.A_decr (cid, v) -> set_value cid (rt.counter_values.(cid) - v)
+  | Tables.A_reset cid -> set_value cid 0
+  | Tables.A_set_curtime cid ->
+      set_value cid (int_of_float (Vw_sim.Simtime.to_ms (now t)))
+  | Tables.A_elapsed_time cid ->
+      set_value cid
+        (int_of_float (Vw_sim.Simtime.to_ms (now t)) - rt.counter_values.(cid))
+  | Tables.A_bind_var (vid, value) ->
+      rt.bindings.(vid) <- Some value;
+      Array.iter
+        (fun (n : Tables.node_entry) ->
+          if n.nid <> rt.nid then
+            send_control t ~dst_nid:n.nid (Control.Var_bind { vid; value }))
+        rt.tables.Tables.nodes
+  | Tables.A_fail nid ->
+      if nid = rt.nid then Vw_stack.Host.fail t.hst
+  | Tables.A_stop -> report t (Stop_report { nid = rt.nid })
+  | Tables.A_flag_error rule -> report t (Error_report { nid = rt.nid; rule })
+  | Tables.A_drop _ | Tables.A_delay _ | Tables.A_reorder _ | Tables.A_dup _
+  | Tables.A_modify _ ->
+      (* Faults are level-armed through their condition's status; nothing to
+         do at the edge. *)
+      ()
+
+(* --- the cascade (Figure 3 / Figure 4b) ---
+
+   Seeds: counters whose values changed (locally or via control message)
+   and/or terms whose status was pushed from a remote evaluator. Each round
+   re-evaluates affected local terms, then affected local conditions from a
+   snapshot, fires rising edges, and feeds resulting counter changes into
+   the next round. *)
+
+and cascade t rt ~changed_counters ~changed_terms =
+  let max_rounds = 100 in
+  let round = ref 0 in
+  let counters = ref changed_counters in
+  let ext_terms = ref changed_terms in
+  let continue = ref true in
+  while !continue do
+    incr round;
+    if !round > max_rounds then begin
+      t.stats.cascade_overflows <- t.stats.cascade_overflows + 1;
+      Log.err (fun m ->
+          m "%s: rule cascade did not converge" (Vw_stack.Host.name t.hst));
+      report t (Error_report { nid = rt.nid; rule = -1 });
+      continue := false
+    end
+    else begin
+      (* 1. ship counter updates to remote term evaluators *)
+      List.iter
+        (fun cid ->
+          let c = rt.tables.Tables.counters.(cid) in
+          if c.Tables.owner = rt.nid then
+            List.iter
+              (fun nid ->
+                send_control t ~dst_nid:nid
+                  (Control.Counter_update
+                     { cid; value = rt.counter_values.(cid) }))
+              c.Tables.value_subscribers)
+        !counters;
+      (* 2. re-evaluate local terms over the changed counters *)
+      let affected_tids =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun cid ->
+               rt.tables.Tables.counters.(cid).Tables.affected_terms)
+             !counters)
+        |> List.filter (fun tid ->
+               rt.tables.Tables.terms.(tid).Tables.eval_node = rt.nid)
+      in
+      let flipped_tids =
+        List.filter
+          (fun tid ->
+            let term = rt.tables.Tables.terms.(tid) in
+            t.stats.terms_evaluated <- t.stats.terms_evaluated + 1;
+            let status = eval_term rt term in
+            if status <> rt.term_status.(tid) then begin
+              rt.term_status.(tid) <- status;
+              List.iter
+                (fun nid ->
+                  send_control t ~dst_nid:nid
+                    (Control.Term_status { tid; status }))
+                term.Tables.status_subscribers;
+              true
+            end
+            else false)
+          affected_tids
+      in
+      let flipped_tids = List.sort_uniq compare (flipped_tids @ !ext_terms) in
+      ext_terms := [];
+      (* 3. snapshot-evaluate affected conditions, collect rising edges *)
+      let affected_dids =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun tid -> rt.tables.Tables.terms.(tid).Tables.in_conditions)
+             flipped_tids)
+        |> List.filter (fun did ->
+               List.mem rt.nid rt.tables.Tables.conds.(did).Tables.eval_nodes)
+      in
+      let risen =
+        List.filter
+          (fun did ->
+            let cond = rt.tables.Tables.conds.(did) in
+            t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
+            let status = eval_expr rt cond.Tables.expr in
+            let rose = status && not rt.cond_status.(did) in
+            rt.cond_status.(did) <- status;
+            rose)
+          affected_dids
+      in
+      (* 4. fire the risen conditions' local actions *)
+      let changed = ref [] in
+      List.iter
+        (fun did ->
+          List.iter
+            (fun (nid, aid) ->
+              if nid = rt.nid then
+                execute_action t rt rt.tables.Tables.actions.(aid) ~changed)
+            rt.tables.Tables.conds.(did).Tables.cond_actions)
+        risen;
+      counters := List.rev !changed;
+      if !counters = [] then continue := false
+    end
+  done
+
+(* --- control-plane receive --- *)
+
+and process_control t msg =
+  t.stats.control_received <- t.stats.control_received + 1;
+  match (msg, t.rt) with
+  | Control.Init { controller_nid; tables }, _ -> (
+      match Vw_fsl.Tables_codec.of_bytes tables with
+      | Error e ->
+          Log.err (fun m -> m "%s: bad INIT: %s" (Vw_stack.Host.name t.hst) e)
+      | Ok tables -> (
+          match init_local t ~controller_nid tables with
+          | Ok () -> ()
+          | Error e ->
+              Log.info (fun m ->
+                  m "%s: not participating: %s" (Vw_stack.Host.name t.hst) e)))
+  | Control.Start, Some rt -> if not rt.started then start_local t
+  | Control.Start, None -> ()
+  | Control.Counter_update { cid; value }, Some rt ->
+      if cid < Array.length rt.counter_values then begin
+        if rt.counter_values.(cid) <> value then begin
+          rt.counter_values.(cid) <- value;
+          cascade t rt ~changed_counters:[ cid ] ~changed_terms:[]
+        end
+      end
+  | Control.Term_status { tid; status }, Some rt ->
+      if tid < Array.length rt.term_status then begin
+        if rt.term_status.(tid) <> status then begin
+          rt.term_status.(tid) <- status;
+          cascade t rt ~changed_counters:[] ~changed_terms:[ tid ]
+        end
+      end
+  | Control.Var_bind { vid; value }, Some rt ->
+      if vid < Array.length rt.bindings then rt.bindings.(vid) <- Some value
+  | Control.Report_stop { nid }, Some _ -> t.report_handler (Stop_report { nid })
+  | Control.Report_error { nid; rule }, Some _ ->
+      t.report_handler (Error_report { nid; rule })
+  | (Control.Counter_update _ | Control.Term_status _ | Control.Var_bind _
+    | Control.Report_stop _ | Control.Report_error _ ), None ->
+      ()
+
+(* --- initialization --- *)
+
+and init_local t ~controller_nid tables =
+  match Tables.node_by_mac tables (Vw_stack.Host.mac t.hst) with
+  | None -> Error "host MAC not in the node table"
+  | Some node ->
+      let nid = node.Tables.nid in
+      let my_faults =
+        Array.to_list tables.Tables.conds
+        |> List.concat_map (fun (cond : Tables.cond_entry) ->
+               List.filter_map
+                 (fun (anid, aid) ->
+                   if anid <> nid then None
+                   else
+                     let entry = tables.Tables.actions.(aid) in
+                     let kind =
+                       match entry.Tables.act with
+                       | Tables.A_drop _ -> Some `Drop
+                       | Tables.A_delay (_, d) -> Some (`Delay d)
+                       | Tables.A_reorder (_, n, order) ->
+                           Some (`Reorder (n, order))
+                       | Tables.A_dup _ -> Some `Dup
+                       | Tables.A_modify (_, pat) -> Some (`Modify pat)
+                       | Tables.A_assign _ | Tables.A_enable _
+                       | Tables.A_disable _ | Tables.A_incr _ | Tables.A_decr _
+                       | Tables.A_reset _ | Tables.A_set_curtime _
+                       | Tables.A_elapsed_time _ | Tables.A_fail _
+                       | Tables.A_stop | Tables.A_flag_error _
+                       | Tables.A_bind_var _ ->
+                           None
+                     in
+                     let spec =
+                       match entry.Tables.act with
+                       | Tables.A_drop s
+                       | Tables.A_delay (s, _)
+                       | Tables.A_reorder (s, _, _)
+                       | Tables.A_dup s
+                       | Tables.A_modify (s, _) ->
+                           Some s
+                       | _ -> None
+                     in
+                     match (kind, spec) with
+                     | Some af_kind, Some af_spec ->
+                         Some
+                           { af_did = cond.Tables.did; af_aid = aid; af_spec; af_kind }
+                     | _ -> None)
+                 cond.Tables.cond_actions)
+        |> List.sort (fun a b -> compare a.af_aid b.af_aid)
+      in
+      let rt =
+        {
+          tables;
+          controller_nid;
+          nid;
+          counter_values = Array.make (Array.length tables.Tables.counters) 0;
+          counter_enabled =
+            Array.make (Array.length tables.Tables.counters) false;
+          term_status = Array.make (Array.length tables.Tables.terms) false;
+          cond_status = Array.make (Array.length tables.Tables.conds) false;
+          bindings = Array.make (Array.length tables.Tables.vars) None;
+          my_faults;
+          reorder_buffers = Hashtbl.create 4;
+          started = false;
+          last_match = None;
+        }
+      in
+      (* Initial term/condition statuses from the all-zero counter state —
+         every node computes the same snapshot, so no start-up burst of
+         control messages is needed. *)
+      Array.iteri
+        (fun tid term -> rt.term_status.(tid) <- eval_term rt term)
+        tables.Tables.terms;
+      Array.iteri
+        (fun did (cond : Tables.cond_entry) ->
+          rt.cond_status.(did) <- eval_expr rt cond.Tables.expr)
+        tables.Tables.conds;
+      t.rt <- Some rt;
+      Ok ()
+
+and start_local t =
+  match t.rt with
+  | None -> ()
+  | Some rt ->
+      rt.started <- true;
+      (* Fire the conditions that are true at scenario start (the TRUE
+         rules, and any degenerate always-true conditions). *)
+      let changed = ref [] in
+      Array.iter
+        (fun (cond : Tables.cond_entry) ->
+          if
+            rt.cond_status.(cond.Tables.did)
+            && List.mem rt.nid cond.Tables.eval_nodes
+          then
+            List.iter
+              (fun (nid, aid) ->
+                if nid = rt.nid then
+                  execute_action t rt rt.tables.Tables.actions.(aid) ~changed)
+              cond.Tables.cond_actions)
+        rt.tables.Tables.conds;
+      cascade t rt ~changed_counters:(List.rev !changed) ~changed_terms:[]
+
+(* --- the per-packet path --- *)
+
+let counter_observes rt (c : Tables.counter_entry) ~fid ~src ~dst ~point =
+  match c.Tables.ckind with
+  | Tables.Local -> false
+  | Tables.Event { e_fid; e_from; e_to; e_dir } ->
+      e_fid = fid
+      && (match (e_dir, point) with
+         | Ast.Send, Vw_stack.Hook.Egress -> e_from = rt.nid
+         | Ast.Recv, Vw_stack.Hook.Ingress -> e_to = rt.nid
+         | (Ast.Send | Ast.Recv), (Vw_stack.Hook.Egress | Vw_stack.Hook.Ingress)
+           ->
+             false)
+      && Vw_net.Mac.equal src rt.tables.Tables.nodes.(e_from).Tables.nmac
+      && Vw_net.Mac.equal dst rt.tables.Tables.nodes.(e_to).Tables.nmac
+
+let fault_applies rt (af : armed_fault) ~fid ~src ~dst ~point =
+  rt.cond_status.(af.af_did)
+  && af.af_spec.Tables.fs_fid = fid
+  && (match (af.af_spec.Tables.fs_dir, point) with
+     | Ast.Send, Vw_stack.Hook.Egress -> af.af_spec.Tables.fs_from = rt.nid
+     | Ast.Recv, Vw_stack.Hook.Ingress -> af.af_spec.Tables.fs_to = rt.nid
+     | (Ast.Send | Ast.Recv), (Vw_stack.Hook.Egress | Vw_stack.Hook.Ingress) ->
+         false)
+  && Vw_net.Mac.equal src
+       rt.tables.Tables.nodes.(af.af_spec.Tables.fs_from).Tables.nmac
+  && Vw_net.Mac.equal dst
+       rt.tables.Tables.nodes.(af.af_spec.Tables.fs_to).Tables.nmac
+
+let reinject t point frame =
+  Vw_stack.Host.reinject t.hst point
+    ~from_priority:Vw_stack.Hook.priority_virtualwire frame
+
+let apply_fault t rt point (frame : Vw_net.Eth.t) (af : armed_fault) =
+  match af.af_kind with
+  | `Drop ->
+      t.stats.faults_drop <- t.stats.faults_drop + 1;
+      Vw_stack.Hook.Drop
+  | `Delay duration ->
+      t.stats.faults_delay <- t.stats.faults_delay + 1;
+      ignore
+        (Vw_stack.Host.set_timer t.hst ~delay:duration (fun () ->
+             reinject t point frame));
+      Vw_stack.Hook.Stolen
+  | `Reorder (n, order) ->
+      t.stats.faults_reorder <- t.stats.faults_reorder + 1;
+      let buffer =
+        match Hashtbl.find_opt rt.reorder_buffers af.af_aid with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace rt.reorder_buffers af.af_aid q;
+            q
+      in
+      Queue.add frame buffer;
+      if Queue.length buffer >= n then begin
+        let frames = Array.of_seq (Queue.to_seq buffer) in
+        Queue.clear buffer;
+        (* release in the user's permutation, as one burst *)
+        Array.iter (fun idx -> reinject t point frames.(idx - 1)) order
+      end;
+      Vw_stack.Hook.Stolen
+  | `Dup ->
+      t.stats.faults_dup <- t.stats.faults_dup + 1;
+      reinject t point frame;
+      Vw_stack.Hook.Accept frame
+  | `Modify pat ->
+      t.stats.faults_modify <- t.stats.faults_modify + 1;
+      let data = Vw_net.Eth.to_bytes frame in
+      (match pat with
+      | Some (offset, b) ->
+          let len = min (Bytes.length b) (max 0 (Bytes.length data - offset)) in
+          if len > 0 && offset >= 0 then Bytes.blit b 0 data offset len
+      | None ->
+          (* Random perturbation, sparing the Ethernet header so the frame
+             still reaches its destination and fails there (checksum). *)
+          let prng = Vw_sim.Engine.prng (Vw_stack.Host.engine t.hst) in
+          let span = Bytes.length data - Vw_net.Eth.header_size in
+          if span > 0 then
+            for _ = 1 to 3 do
+              let pos = Vw_net.Eth.header_size + Vw_util.Prng.int prng span in
+              Bytes.set data pos
+                (Char.chr
+                   (Char.code (Bytes.get data pos)
+                   lxor (1 + Vw_util.Prng.int prng 255)))
+            done);
+      Vw_stack.Hook.Accept (Vw_net.Eth.of_bytes data)
+
+(* Withhold an accepted packet for the configured processing cost before it
+   continues through the rest of the chain. *)
+let charge_cost t point ~scanned ~actions verdict =
+  match t.cost with
+  | None -> verdict
+  | Some cm ->
+      let cost =
+        Vw_sim.Simtime.(
+          cm.cost_base
+          + (scanned * cm.cost_per_filter)
+          + (actions * cm.cost_per_action))
+      in
+      if cost <= 0 then verdict
+      else begin
+        match verdict with
+        | Vw_stack.Hook.Accept frame ->
+            ignore
+              (Vw_sim.Engine.schedule_after
+                 (Vw_stack.Host.engine t.hst)
+                 ~delay:cost
+                 (fun () -> reinject t point frame));
+            Vw_stack.Hook.Stolen
+        | (Vw_stack.Hook.Drop | Vw_stack.Hook.Stolen) as v -> v
+      end
+
+let handle_packet t point (frame : Vw_net.Eth.t) =
+  t.stats.packets_inspected <- t.stats.packets_inspected + 1;
+  match t.rt with
+  | None -> Vw_stack.Hook.Accept frame
+  | Some rt when not rt.started -> Vw_stack.Hook.Accept frame
+  | Some rt -> (
+      let actions_before = t.stats.actions_executed in
+      let data = Vw_net.Eth.to_bytes frame in
+      match Classifier.classify rt.tables ~bindings:rt.bindings data with
+      | None ->
+          charge_cost t point
+            ~scanned:(Array.length rt.tables.Tables.filters)
+            ~actions:0
+            (Vw_stack.Hook.Accept frame)
+      | Some fid ->
+          t.stats.packets_matched <- t.stats.packets_matched + 1;
+          rt.last_match <- Some (now t);
+          (* 1. counter updates *)
+          let changed = ref [] in
+          Array.iter
+            (fun (c : Tables.counter_entry) ->
+              if
+                rt.counter_enabled.(c.Tables.cid)
+                && counter_observes rt c ~fid ~src:frame.src ~dst:frame.dst
+                     ~point
+              then begin
+                rt.counter_values.(c.Tables.cid) <-
+                  rt.counter_values.(c.Tables.cid) + 1;
+                t.stats.counter_updates <- t.stats.counter_updates + 1;
+                changed := c.Tables.cid :: !changed
+              end)
+            rt.tables.Tables.counters;
+          (* 2. cascade *)
+          if !changed <> [] then
+            cascade t rt ~changed_counters:(List.rev !changed)
+              ~changed_terms:[];
+          (* 3. apply the first armed fault matching this packet *)
+          let fault =
+            List.find_opt
+              (fun af ->
+                fault_applies rt af ~fid ~src:frame.src ~dst:frame.dst ~point)
+              rt.my_faults
+          in
+          let verdict =
+            match fault with
+            | Some af -> apply_fault t rt point frame af
+            | None -> Vw_stack.Hook.Accept frame
+          in
+          charge_cost t point ~scanned:(fid + 1)
+            ~actions:(t.stats.actions_executed - actions_before)
+            verdict)
+
+let ingress_handler t (frame : Vw_net.Eth.t) =
+  if frame.ethertype = Vw_net.Eth.ethertype_vw_control then begin
+    (match Control.of_payload frame.payload with
+    | Ok msg -> process_control t msg
+    | Error e ->
+        Log.err (fun m ->
+            m "%s: undecodable control frame: %s" (Vw_stack.Host.name t.hst) e));
+    Vw_stack.Hook.Stolen
+  end
+  else handle_packet t Vw_stack.Hook.Ingress frame
+
+let egress_handler t (frame : Vw_net.Eth.t) =
+  if frame.ethertype = Vw_net.Eth.ethertype_vw_control then
+    (* our own control traffic is not subject to classification *)
+    Vw_stack.Hook.Accept frame
+  else handle_packet t Vw_stack.Hook.Egress frame
+
+let install hst =
+  let t =
+    {
+      hst;
+      stats = new_stats ();
+      rt = None;
+      report_handler = (fun _ -> ());
+      egress_hook = None;
+      ingress_hook = None;
+      cost = None;
+    }
+  in
+  t.egress_hook <-
+    Some
+      (Vw_stack.Host.add_hook hst Vw_stack.Hook.Egress
+         ~priority:Vw_stack.Hook.priority_virtualwire ~name:"virtualwire"
+         (egress_handler t));
+  t.ingress_hook <-
+    Some
+      (Vw_stack.Host.add_hook hst Vw_stack.Hook.Ingress
+         ~priority:Vw_stack.Hook.priority_virtualwire ~name:"virtualwire"
+         (ingress_handler t));
+  t
+
+let uninstall t =
+  (match t.egress_hook with
+  | Some id -> Vw_stack.Host.remove_hook t.hst id
+  | None -> ());
+  (match t.ingress_hook with
+  | Some id -> Vw_stack.Host.remove_hook t.hst id
+  | None -> ());
+  t.egress_hook <- None;
+  t.ingress_hook <- None
+
+let reset t = t.rt <- None
+let set_cost_model t cm = t.cost <- cm
+let cost_model t = t.cost

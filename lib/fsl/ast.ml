@@ -1,0 +1,223 @@
+type position = { line : int; col : int }
+
+type pattern = Lit of string | Var of string
+
+type filter_tuple = {
+  offset : int;
+  length : int;
+  mask : string option;
+  pat : pattern;
+  tuple_pos : position;
+}
+
+type filter_def = {
+  filter_name : string;
+  tuples : filter_tuple list;
+  filter_pos : position;
+}
+
+type node_def = {
+  node_name : string;
+  node_mac : string;
+  node_ip : string;
+  node_pos : position;
+}
+
+type direction = Send | Recv
+
+type counter_def =
+  | Event_counter of {
+      pkt : string;
+      from_node : string;
+      to_node : string;
+      dir : direction;
+    }
+  | Local_counter of { at_node : string }
+
+type counter_decl = {
+  counter_name : string;
+  counter_def : counter_def;
+  counter_pos : position;
+}
+
+type relop = Lt | Le | Gt | Ge | Eq | Ne
+
+type operand = Counter_ref of string | Const of int
+
+type term = { t_left : string; t_op : relop; t_right : operand }
+
+type cond =
+  | True
+  | Term of term
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type fault_spec = {
+  f_pkt : string;
+  f_from : string;
+  f_to : string;
+  f_dir : direction;
+}
+
+type modify_pattern =
+  | Random_bytes
+  | Set_bytes of { m_offset : int; m_bytes : string }
+
+type action =
+  | Assign_cntr of string * int option
+  | Enable_cntr of string
+  | Disable_cntr of string
+  | Incr_cntr of string * int
+  | Decr_cntr of string * int
+  | Reset_cntr of string
+  | Set_curtime of string
+  | Elapsed_time of string
+  | Drop of fault_spec
+  | Delay of fault_spec * float
+  | Reorder of fault_spec * int * int list
+  | Dup of fault_spec
+  | Modify of fault_spec * modify_pattern
+  | Fail of string
+  | Stop
+  | Flag_error
+  | Bind_var of string * string
+
+type rule = { condition : cond; actions : action list; rule_pos : position }
+
+type scenario = {
+  scenario_name : string;
+  inactivity_timeout : float option;
+  counters : counter_decl list;
+  rules : rule list;
+}
+
+type script = {
+  vars : string list;
+  filters : filter_def list;
+  nodes : node_def list;
+  scenario : scenario;
+}
+
+let direction_to_string = function Send -> "SEND" | Recv -> "RECV"
+
+let relop_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+
+let rec pp_cond ppf = function
+  | True -> Format.pp_print_string ppf "TRUE"
+  | Term t ->
+      let right =
+        match t.t_right with
+        | Counter_ref c -> c
+        | Const n -> string_of_int n
+      in
+      Format.fprintf ppf "(%s %s %s)" t.t_left (relop_to_string t.t_op) right
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_cond a pp_cond b
+  | Not a -> Format.fprintf ppf "(!%a)" pp_cond a
+
+let pp_fault_spec ppf f =
+  Format.fprintf ppf "%s, %s, %s, %s" f.f_pkt f.f_from f.f_to
+    (direction_to_string f.f_dir)
+
+let pp_action ppf = function
+  | Assign_cntr (c, None) -> Format.fprintf ppf "ASSIGN_CNTR( %s )" c
+  | Assign_cntr (c, Some v) -> Format.fprintf ppf "ASSIGN_CNTR( %s, %d )" c v
+  | Enable_cntr c -> Format.fprintf ppf "ENABLE_CNTR( %s )" c
+  | Disable_cntr c -> Format.fprintf ppf "DISABLE_CNTR( %s )" c
+  | Incr_cntr (c, v) -> Format.fprintf ppf "INCR_CNTR( %s, %d )" c v
+  | Decr_cntr (c, v) -> Format.fprintf ppf "DECR_CNTR( %s, %d )" c v
+  | Reset_cntr c -> Format.fprintf ppf "RESET_CNTR( %s )" c
+  | Set_curtime c -> Format.fprintf ppf "SET_CURTIME( %s )" c
+  | Elapsed_time c -> Format.fprintf ppf "ELAPSED_TIME( %s )" c
+  | Drop f -> Format.fprintf ppf "DROP( %a )" pp_fault_spec f
+  | Delay (f, s) -> Format.fprintf ppf "DELAY( %a, %gms )" pp_fault_spec f (s *. 1000.)
+  | Reorder (f, n, order) ->
+      Format.fprintf ppf "REORDER( %a, %d, [%s] )" pp_fault_spec f n
+        (String.concat " " (List.map string_of_int order))
+  | Dup f -> Format.fprintf ppf "DUP( %a )" pp_fault_spec f
+  | Modify (f, Random_bytes) ->
+      Format.fprintf ppf "MODIFY( %a, RANDOM )" pp_fault_spec f
+  | Modify (f, Set_bytes { m_offset; m_bytes }) ->
+      Format.fprintf ppf "MODIFY( %a, (%d %s) )" pp_fault_spec f m_offset m_bytes
+  | Fail n -> Format.fprintf ppf "FAIL( %s )" n
+  | Stop -> Format.pp_print_string ppf "STOP"
+  | Flag_error -> Format.pp_print_string ppf "FLAG_ERROR"
+  | Bind_var (v, value) -> Format.fprintf ppf "BIND_VAR( %s, %s )" v value
+
+(* --- whole-script printer --- *)
+
+let pp_tuple ppf (t : filter_tuple) =
+  let pat = match t.pat with Lit raw -> raw | Var v -> v in
+  match t.mask with
+  | None -> Format.fprintf ppf "(%d %d %s)" t.offset t.length pat
+  | Some m -> Format.fprintf ppf "(%d %d %s %s)" t.offset t.length m pat
+
+let pp_counter_def ppf = function
+  | Event_counter { pkt; from_node; to_node; dir } ->
+      Format.fprintf ppf "(%s, %s, %s, %s)" pkt from_node to_node
+        (direction_to_string dir)
+  | Local_counter { at_node } -> Format.fprintf ppf "(%s)" at_node
+
+let pp_rule ppf (r : rule) =
+  Format.fprintf ppf "%a >>" pp_cond r.condition;
+  List.iter (fun a -> Format.fprintf ppf " %a;" pp_action a) r.actions
+
+let pp_script ppf (s : script) =
+  let nl () = Format.pp_print_string ppf "\n" in
+  (match s.vars with
+  | [] -> ()
+  | vars ->
+      Format.fprintf ppf "VAR %s;" (String.concat ", " vars);
+      nl ());
+  (match s.filters with
+  | [] -> ()
+  | filters ->
+      Format.pp_print_string ppf "FILTER_TABLE";
+      nl ();
+      List.iter
+        (fun (f : filter_def) ->
+          Format.fprintf ppf "%s: " f.filter_name;
+          List.iteri
+            (fun i t ->
+              if i > 0 then Format.pp_print_string ppf ", ";
+              pp_tuple ppf t)
+            f.tuples;
+          nl ())
+        filters;
+      Format.pp_print_string ppf "END";
+      nl ());
+  Format.pp_print_string ppf "NODE_TABLE";
+  nl ();
+  List.iter
+    (fun (n : node_def) ->
+      Format.fprintf ppf "%s %s %s" n.node_name n.node_mac n.node_ip;
+      nl ())
+    s.nodes;
+  Format.pp_print_string ppf "END";
+  nl ();
+  Format.fprintf ppf "SCENARIO %s" s.scenario.scenario_name;
+  (match s.scenario.inactivity_timeout with
+  | Some seconds -> Format.fprintf ppf " %gms" (seconds *. 1000.)
+  | None -> ());
+  nl ();
+  List.iter
+    (fun (c : counter_decl) ->
+      Format.fprintf ppf "%s: %a" c.counter_name pp_counter_def c.counter_def;
+      nl ())
+    s.scenario.counters;
+  List.iter
+    (fun r ->
+      pp_rule ppf r;
+      nl ())
+    s.scenario.rules;
+  Format.pp_print_string ppf "END";
+  nl ()
+
+let script_to_string s = Format.asprintf "%a" pp_script s

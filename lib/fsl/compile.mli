@@ -1,0 +1,28 @@
+(** The FSL "interpreter" front half: AST → the six tables of Figure 3.
+
+    Static checking happens here: name resolution (filters, nodes,
+    counters, vars), pattern-width checks, permutation validity for
+    REORDER, endpoint sanity for event counters and fault specs. All
+    problems are collected and reported together.
+
+    Placement decisions (Section 5.2):
+    - an event counter lives on the node that observes its event (the
+      sender for SEND, the receiver for RECV); a local counter on its
+      declared node;
+    - a term is evaluated on its left counter's owner; if the right operand
+      is a counter owned elsewhere, that owner is recorded as a
+      value-subscriber target (counter-update control messages);
+    - a condition is evaluated on every node that must execute one of its
+      actions; term-status control messages flow to those nodes;
+    - counter actions execute on the counter's owner; fault actions on the
+      node that observes the faulted packets; FAIL on the failing node;
+      STOP and FLAG_ERROR anchor to the owner of the first counter of
+      their condition (the control node, node 0, for TRUE). *)
+
+val compile : Ast.script -> (Tables.t, string list) result
+
+val compile_exn : Ast.script -> Tables.t
+(** @raise Failure with the concatenated error list. *)
+
+val parse_and_compile : string -> (Tables.t, string) result
+(** Convenience: {!Parser.parse} followed by {!compile}. *)

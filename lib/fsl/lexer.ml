@@ -1,0 +1,256 @@
+type token =
+  | IDENT of string
+  | NUMBER of string
+  | DURATION of string
+  | MACADDR of string
+  | IPADDR of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | SEMI
+  | ARROW
+  | OP_LT
+  | OP_LE
+  | OP_GT
+  | OP_GE
+  | OP_EQ
+  | OP_NE
+  | OP_AND
+  | OP_OR
+  | OP_NOT
+  | EOF
+
+type lexeme = { token : token; pos : Ast.position }
+
+exception Lex_error of string * Ast.position
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER s -> Printf.sprintf "number %S" s
+  | DURATION s -> Printf.sprintf "duration %S" s
+  | MACADDR s -> Printf.sprintf "MAC address %S" s
+  | IPADDR s -> Printf.sprintf "IP address %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | ARROW -> "'>>'"
+  | OP_LT -> "'<'"
+  | OP_LE -> "'<='"
+  | OP_GT -> "'>'"
+  | OP_GE -> "'>='"
+  | OP_EQ -> "'='"
+  | OP_NE -> "'!='"
+  | OP_AND -> "'&&'"
+  | OP_OR -> "'||'"
+  | OP_NOT -> "'!'"
+  | EOF -> "end of input"
+
+type cursor = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let position c = { Ast.line = c.line; col = c.col }
+let at_end c = c.i >= String.length c.src
+let peek c = if at_end c then '\000' else c.src.[c.i]
+
+let peek2 c =
+  if c.i + 1 >= String.length c.src then '\000' else c.src.[c.i + 1]
+
+let advance c =
+  if not (at_end c) then begin
+    if c.src.[c.i] = '\n' then begin
+      c.line <- c.line + 1;
+      c.col <- 1
+    end
+    else c.col <- c.col + 1;
+    c.i <- c.i + 1
+  end
+
+let is_digit ch = ch >= '0' && ch <= '9'
+let is_hex ch = is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident ch = is_ident_start ch || is_digit ch
+
+(* Recognize a MAC address xx:xx:xx:xx:xx:xx at position [i]. *)
+let match_mac src i =
+  let n = String.length src in
+  let ok_pair j = j + 1 < n && is_hex src.[j] && is_hex src.[j + 1] in
+  let ok_colon j = j < n && src.[j] = ':' in
+  if
+    ok_pair i && ok_colon (i + 2) && ok_pair (i + 3) && ok_colon (i + 5)
+    && ok_pair (i + 6) && ok_colon (i + 8) && ok_pair (i + 9)
+    && ok_colon (i + 11) && ok_pair (i + 12) && ok_colon (i + 14)
+    && ok_pair (i + 15)
+    && (i + 17 >= n || not (is_hex src.[i + 17] || src.[i + 17] = ':'))
+  then Some (String.sub src i 17)
+  else None
+
+(* Recognize a dotted-quad IP address at position [i]. *)
+let match_ip src i =
+  let n = String.length src in
+  let rec octet j acc count =
+    if count > 3 || j >= n || not (is_digit src.[j]) then None
+    else begin
+      let rec digits j k = if j < n && is_digit src.[j] && k < 3 then digits (j + 1) (k + 1) else j in
+      let j' = digits j 0 in
+      let acc = acc ^ String.sub src j (j' - j) in
+      if count = 3 then
+        if j' < n && (src.[j'] = '.' || is_ident src.[j']) then None
+        else Some (acc, j')
+      else if j' < n && src.[j'] = '.' then octet (j' + 1) (acc ^ ".") (count + 1)
+      else None
+    end
+  in
+  octet i "" 0
+
+let tokenize src =
+  let c = { src; i = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit token pos = out := { token; pos } :: !out in
+  let rec skip_ws () =
+    if at_end c then ()
+    else
+      match peek c with
+      | ' ' | '\t' | '\r' | '\n' ->
+          advance c;
+          skip_ws ()
+      | '#' ->
+          while (not (at_end c)) && peek c <> '\n' do advance c done;
+          skip_ws ()
+      | '/' when peek2 c = '/' ->
+          while (not (at_end c)) && peek c <> '\n' do advance c done;
+          skip_ws ()
+      | '/' when peek2 c = '*' ->
+          let pos = position c in
+          advance c;
+          advance c;
+          let rec close () =
+            if at_end c then raise (Lex_error ("unterminated comment", pos))
+            else if peek c = '*' && peek2 c = '/' then begin
+              advance c;
+              advance c
+            end
+            else begin
+              advance c;
+              close ()
+            end
+          in
+          close ();
+          skip_ws ()
+      | _ -> ()
+  in
+  let read_while pred =
+    let start = c.i in
+    while (not (at_end c)) && pred (peek c) do advance c done;
+    String.sub c.src start (c.i - start)
+  in
+  let rec loop () =
+    skip_ws ();
+    let pos = position c in
+    if at_end c then emit EOF pos
+    else begin
+      let ch = peek c in
+      (match match_mac c.src c.i with
+      | Some mac ->
+          for _ = 1 to 17 do advance c done;
+          emit (MACADDR mac) pos
+      | None -> (
+          match if is_digit ch then match_ip c.src c.i else None with
+          | Some (ip, j) ->
+              while c.i < j do advance c done;
+              emit (IPADDR ip) pos
+          | None ->
+              if is_digit ch then begin
+                (* number: possibly 0x…, possibly fractional (durations),
+                   possibly with a duration unit suffix *)
+                let raw =
+                  read_while (fun ch ->
+                      is_hex ch || ch = 'x' || ch = 'X' || ch = '.')
+                in
+                let unit_part = read_while (fun ch -> is_ident_start ch) in
+                if unit_part = "" then emit (NUMBER raw) pos
+                else if List.mem unit_part [ "ms"; "s"; "sec"; "us" ] then
+                  emit (DURATION (raw ^ unit_part)) pos
+                else
+                  raise
+                    (Lex_error
+                       ( Printf.sprintf "bad numeric suffix %S" unit_part,
+                         pos ))
+              end
+              else if is_ident_start ch then begin
+                let name = read_while is_ident in
+                emit (IDENT name) pos
+              end
+              else begin
+                advance c;
+                match ch with
+                | '(' -> emit LPAREN pos
+                | ')' -> emit RPAREN pos
+                | '[' -> emit LBRACKET pos
+                | ']' -> emit RBRACKET pos
+                | ',' -> emit COMMA pos
+                | ':' -> emit COLON pos
+                | ';' -> emit SEMI pos
+                | '>' ->
+                    if peek c = '>' then begin
+                      advance c;
+                      emit ARROW pos
+                    end
+                    else if peek c = '=' then begin
+                      advance c;
+                      emit OP_GE pos
+                    end
+                    else emit OP_GT pos
+                | '<' ->
+                    if peek c = '=' then begin
+                      advance c;
+                      emit OP_LE pos
+                    end
+                    else emit OP_LT pos
+                | '=' ->
+                    if peek c = '=' then advance c;
+                    emit OP_EQ pos
+                | '!' ->
+                    if peek c = '=' then begin
+                      advance c;
+                      emit OP_NE pos
+                    end
+                    else emit OP_NOT pos
+                | '&' ->
+                    if peek c = '&' then begin
+                      advance c;
+                      emit OP_AND pos
+                    end
+                    else raise (Lex_error ("expected '&&'", pos))
+                | '|' ->
+                    if peek c = '|' then begin
+                      advance c;
+                      emit OP_OR pos
+                    end
+                    else raise (Lex_error ("expected '||'", pos))
+                | _ ->
+                    raise
+                      (Lex_error
+                         (Printf.sprintf "unexpected character %C" ch, pos))
+              end));
+      match !out with
+      | { token = EOF; _ } :: _ -> ()
+      | _ -> loop ()
+    end
+  in
+  loop ();
+  (match !out with { token = EOF; _ } :: _ -> () | _ -> emit EOF (position c));
+  List.rev !out

@@ -1,0 +1,43 @@
+(** Hand-written lexer for FSL scripts.
+
+    Comments: [/* ... */] (non-nesting) and [//] or [#] to end of line.
+    MAC addresses ([xx:xx:xx:xx:xx:xx]) and dotted-quad IPv4 addresses are
+    recognized as single tokens so that [NODE_TABLE] lines lex naturally.
+    A number directly followed by a unit ([ms], [s], [sec], [us]) lexes as
+    a {!token.DURATION}. Keywords are ordinary identifiers; the parser
+    gives them meaning. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of string  (** raw literal, e.g. ["34"], ["0x6000"], ["0010"] *)
+  | DURATION of string  (** e.g. ["1sec"], ["500ms"] *)
+  | MACADDR of string
+  | IPADDR of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | SEMI
+  | ARROW  (** [>>] *)
+  | OP_LT
+  | OP_LE
+  | OP_GT
+  | OP_GE
+  | OP_EQ
+  | OP_NE
+  | OP_AND
+  | OP_OR
+  | OP_NOT
+  | EOF
+
+type lexeme = { token : token; pos : Ast.position }
+
+exception Lex_error of string * Ast.position
+
+val tokenize : string -> lexeme list
+(** @raise Lex_error on an unrecognizable character. The result always ends
+    with an [EOF] lexeme. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,510 @@
+open Lexer
+
+exception Parse_error of string * Ast.position
+
+type state = { lexemes : lexeme array; mutable pos : int }
+
+let peek st = st.lexemes.(st.pos)
+let peek_token st = (peek st).token
+
+let peek2_token st =
+  if st.pos + 1 < Array.length st.lexemes then st.lexemes.(st.pos + 1).token
+  else EOF
+
+let advance st =
+  if st.pos + 1 < Array.length st.lexemes then st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error (msg, (peek st).pos))
+
+let expect st token =
+  if peek_token st = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (token_to_string token)
+         (token_to_string (peek_token st)))
+
+let ident st =
+  match peek_token st with
+  | IDENT name ->
+      advance st;
+      name
+  | other -> fail st (Printf.sprintf "expected identifier, found %s" (token_to_string other))
+
+let keyword st kw =
+  match peek_token st with
+  | IDENT name when name = kw -> advance st
+  | other ->
+      fail st
+        (Printf.sprintf "expected keyword %s, found %s" kw (token_to_string other))
+
+let is_keyword st kw =
+  match peek_token st with IDENT name -> name = kw | _ -> false
+
+(* Decimal integer (counts, offsets, INCR amounts). *)
+let decimal st =
+  match peek_token st with
+  | NUMBER raw -> (
+      advance st;
+      match int_of_string_opt raw with
+      | Some v -> v
+      | None -> fail st (Printf.sprintf "bad decimal literal %S" raw))
+  | other -> fail st (Printf.sprintf "expected number, found %s" (token_to_string other))
+
+(* Raw literal for mask/pattern fields: kept as text; the compiler
+   interprets it as hexadecimal with or without 0x. *)
+let hex_raw st =
+  match peek_token st with
+  | NUMBER raw ->
+      advance st;
+      raw
+  | other ->
+      fail st (Printf.sprintf "expected hex literal, found %s" (token_to_string other))
+
+let duration_seconds raw pos =
+  let num_len =
+    let rec go i =
+      if i < String.length raw && (raw.[i] = '.' || (raw.[i] >= '0' && raw.[i] <= '9'))
+      then go (i + 1)
+      else i
+    in
+    go 0
+  in
+  let num = String.sub raw 0 num_len in
+  let unit_part = String.sub raw num_len (String.length raw - num_len) in
+  match float_of_string_opt num with
+  | None -> raise (Parse_error (Printf.sprintf "bad duration %S" raw, pos))
+  | Some v -> (
+      match unit_part with
+      | "us" -> v /. 1_000_000.
+      | "ms" -> v /. 1000.
+      | "s" | "sec" | "" -> v
+      | _ -> raise (Parse_error (Printf.sprintf "bad duration unit %S" unit_part, pos)))
+
+(* --- VAR section --- *)
+
+let parse_vars st =
+  let rec sections acc =
+    if is_keyword st "VAR" then begin
+      advance st;
+      let rec names acc =
+        let name = ident st in
+        if peek_token st = COMMA then begin
+          advance st;
+          names (name :: acc)
+        end
+        else begin
+          if peek_token st = SEMI then advance st;
+          name :: acc
+        end
+      in
+      sections (names acc)
+    end
+    else List.rev acc
+  in
+  sections []
+
+(* --- FILTER_TABLE --- *)
+
+let parse_tuple st vars =
+  let tuple_pos = (peek st).pos in
+  expect st LPAREN;
+  let offset = decimal st in
+  let length = decimal st in
+  (* one or two further fields: [mask] pattern, or a variable *)
+  let field () =
+    match peek_token st with
+    | NUMBER raw ->
+        advance st;
+        `Hex raw
+    | IDENT name when List.mem name vars ->
+        advance st;
+        `Var name
+    | IDENT name ->
+        fail st (Printf.sprintf "unknown variable %S in filter tuple" name)
+    | other ->
+        fail st
+          (Printf.sprintf "expected pattern or variable, found %s"
+             (token_to_string other))
+  in
+  let first = field () in
+  let tuple =
+    if peek_token st = RPAREN then
+      match first with
+      | `Hex raw ->
+          { Ast.offset; length; mask = None; pat = Ast.Lit raw; tuple_pos }
+      | `Var v -> { Ast.offset; length; mask = None; pat = Ast.Var v; tuple_pos }
+    else
+      let second = field () in
+      match (first, second) with
+      | `Hex mask, `Hex raw ->
+          { Ast.offset; length; mask = Some mask; pat = Ast.Lit raw; tuple_pos }
+      | `Hex mask, `Var v ->
+          { Ast.offset; length; mask = Some mask; pat = Ast.Var v; tuple_pos }
+      | `Var _, _ -> fail st "a variable cannot be used as a mask"
+  in
+  expect st RPAREN;
+  tuple
+
+let parse_filters st vars =
+  keyword st "FILTER_TABLE";
+  let rec defs acc =
+    if is_keyword st "END" then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let filter_pos = (peek st).pos in
+      let filter_name = ident st in
+      expect st COLON;
+      let rec tuples acc =
+        let t = parse_tuple st vars in
+        if peek_token st = COMMA then begin
+          advance st;
+          tuples (t :: acc)
+        end
+        else List.rev (t :: acc)
+      in
+      let tuples = tuples [] in
+      defs ({ Ast.filter_name; tuples; filter_pos } :: acc)
+    end
+  in
+  defs []
+
+(* --- NODE_TABLE --- *)
+
+let parse_nodes st =
+  keyword st "NODE_TABLE";
+  let rec defs acc =
+    if is_keyword st "END" then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let node_pos = (peek st).pos in
+      let node_name = ident st in
+      let node_mac =
+        match peek_token st with
+        | MACADDR mac ->
+            advance st;
+            mac
+        | other ->
+            fail st (Printf.sprintf "expected MAC address, found %s" (token_to_string other))
+      in
+      let node_ip =
+        match peek_token st with
+        | IPADDR ip ->
+            advance st;
+            ip
+        | other ->
+            fail st (Printf.sprintf "expected IP address, found %s" (token_to_string other))
+      in
+      defs ({ Ast.node_name; node_mac; node_ip; node_pos } :: acc)
+    end
+  in
+  defs []
+
+(* --- scenario: counters --- *)
+
+let parse_direction st =
+  match peek_token st with
+  | IDENT "SEND" ->
+      advance st;
+      Ast.Send
+  | IDENT "RECV" ->
+      advance st;
+      Ast.Recv
+  | other -> fail st (Printf.sprintf "expected SEND or RECV, found %s" (token_to_string other))
+
+let parse_counter_decl st =
+  let counter_pos = (peek st).pos in
+  let counter_name = ident st in
+  expect st COLON;
+  expect st LPAREN;
+  let first = ident st in
+  let counter_def =
+    if peek_token st = RPAREN then Ast.Local_counter { at_node = first }
+    else begin
+      expect st COMMA;
+      let from_node = ident st in
+      expect st COMMA;
+      let to_node = ident st in
+      expect st COMMA;
+      let dir = parse_direction st in
+      Ast.Event_counter { pkt = first; from_node; to_node; dir }
+    end
+  in
+  expect st RPAREN;
+  { Ast.counter_name; counter_def; counter_pos }
+
+(* --- scenario: conditions --- *)
+
+let parse_relop st =
+  match peek_token st with
+  | OP_LT -> advance st; Ast.Lt
+  | OP_LE -> advance st; Ast.Le
+  | OP_GT -> advance st; Ast.Gt
+  | OP_GE -> advance st; Ast.Ge
+  | OP_EQ -> advance st; Ast.Eq
+  | OP_NE -> advance st; Ast.Ne
+  | other -> fail st (Printf.sprintf "expected relational operator, found %s" (token_to_string other))
+
+let parse_operand st =
+  match peek_token st with
+  | IDENT name ->
+      advance st;
+      Ast.Counter_ref name
+  | NUMBER _ -> Ast.Const (decimal st)
+  | other -> fail st (Printf.sprintf "expected counter or constant, found %s" (token_to_string other))
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek_token st = OP_OR then begin
+    advance st;
+    Ast.Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_unary st in
+  if peek_token st = OP_AND then begin
+    advance st;
+    Ast.And (left, parse_and st)
+  end
+  else left
+
+and parse_unary st =
+  match peek_token st with
+  | OP_NOT ->
+      advance st;
+      Ast.Not (parse_unary st)
+  | LPAREN ->
+      advance st;
+      let inner = parse_cond st in
+      expect st RPAREN;
+      inner
+  | IDENT "TRUE" ->
+      advance st;
+      Ast.True
+  | IDENT name ->
+      advance st;
+      let op = parse_relop st in
+      let right = parse_operand st in
+      Ast.Term { t_left = name; t_op = op; t_right = right }
+  | other -> fail st (Printf.sprintf "expected condition, found %s" (token_to_string other))
+
+(* --- scenario: actions --- *)
+
+let parse_fault_spec st =
+  let f_pkt = ident st in
+  expect st COMMA;
+  let f_from = ident st in
+  expect st COMMA;
+  let f_to = ident st in
+  expect st COMMA;
+  let f_dir = parse_direction st in
+  { Ast.f_pkt; f_from; f_to; f_dir }
+
+let parse_duration_arg st =
+  match peek_token st with
+  | DURATION raw ->
+      let pos = (peek st).pos in
+      advance st;
+      duration_seconds raw pos
+  | NUMBER raw ->
+      let pos = (peek st).pos in
+      advance st;
+      (* a bare number is milliseconds *)
+      duration_seconds (raw ^ "ms") pos
+  | other -> fail st (Printf.sprintf "expected duration, found %s" (token_to_string other))
+
+let parse_order_list st n =
+  (* [3 1 2] or 3 1 2 — exactly n entries *)
+  let bracketed = peek_token st = LBRACKET in
+  if bracketed then advance st;
+  let rec go acc k =
+    if k = 0 then List.rev acc else go (decimal st :: acc) (k - 1)
+  in
+  let order = go [] n in
+  if bracketed then expect st RBRACKET;
+  order
+
+let parse_modify_pattern st =
+  match peek_token st with
+  | IDENT "RANDOM" ->
+      advance st;
+      Ast.Random_bytes
+  | LPAREN ->
+      advance st;
+      let m_offset = decimal st in
+      let m_bytes = hex_raw st in
+      expect st RPAREN;
+      Ast.Set_bytes { m_offset; m_bytes }
+  | other ->
+      fail st (Printf.sprintf "expected RANDOM or (offset hexbytes), found %s" (token_to_string other))
+
+let parse_action st =
+  let name = ident st in
+  let parenthesized = peek_token st = LPAREN in
+  if parenthesized then advance st;
+  let close () = if parenthesized then expect st RPAREN in
+  let counter_arg () = ident st in
+  let action =
+    match name with
+    | "ASSIGN_CNTR" ->
+        let c = counter_arg () in
+        let v =
+          if peek_token st = COMMA then begin
+            advance st;
+            Some (decimal st)
+          end
+          else None
+        in
+        close ();
+        Ast.Assign_cntr (c, v)
+    | "ENABLE_CNTR" ->
+        let c = counter_arg () in
+        close ();
+        Ast.Enable_cntr c
+    | "DISABLE_CNTR" ->
+        let c = counter_arg () in
+        close ();
+        Ast.Disable_cntr c
+    | "INCR_CNTR" | "DECR_CNTR" ->
+        let c = counter_arg () in
+        let v =
+          if peek_token st = COMMA then begin
+            advance st;
+            decimal st
+          end
+          else 1
+        in
+        close ();
+        if name = "INCR_CNTR" then Ast.Incr_cntr (c, v) else Ast.Decr_cntr (c, v)
+    | "RESET_CNTR" ->
+        let c = counter_arg () in
+        close ();
+        Ast.Reset_cntr c
+    | "SET_CURTIME" ->
+        let c = counter_arg () in
+        close ();
+        Ast.Set_curtime c
+    | "ELAPSED_TIME" ->
+        let c = counter_arg () in
+        close ();
+        Ast.Elapsed_time c
+    | "DROP" ->
+        let spec = parse_fault_spec st in
+        close ();
+        Ast.Drop spec
+    | "DELAY" ->
+        let spec = parse_fault_spec st in
+        expect st COMMA;
+        let d = parse_duration_arg st in
+        close ();
+        Ast.Delay (spec, d)
+    | "REORDER" ->
+        let spec = parse_fault_spec st in
+        expect st COMMA;
+        let n = decimal st in
+        expect st COMMA;
+        let order = parse_order_list st n in
+        close ();
+        Ast.Reorder (spec, n, order)
+    | "DUP" ->
+        let spec = parse_fault_spec st in
+        close ();
+        Ast.Dup spec
+    | "MODIFY" ->
+        let spec = parse_fault_spec st in
+        expect st COMMA;
+        let pat = parse_modify_pattern st in
+        close ();
+        Ast.Modify (spec, pat)
+    | "FAIL" ->
+        let node = ident st in
+        close ();
+        Ast.Fail node
+    | "STOP" ->
+        close ();
+        Ast.Stop
+    | "FLAG_ERROR" | "FLAG_ERR" ->
+        close ();
+        Ast.Flag_error
+    | "BIND_VAR" ->
+        let v = ident st in
+        expect st COMMA;
+        let value = hex_raw st in
+        close ();
+        Ast.Bind_var (v, value)
+    | other -> fail st (Printf.sprintf "unknown action %S" other)
+  in
+  action
+
+(* A rule's action list continues across ';' until the next rule (which
+   begins with '(') or END. *)
+let parse_rule st =
+  let rule_pos = (peek st).pos in
+  let condition = parse_cond st in
+  expect st ARROW;
+  let rec actions acc =
+    let a = parse_action st in
+    if peek_token st = SEMI then advance st;
+    match peek_token st with
+    | LPAREN | OP_NOT | EOF -> List.rev (a :: acc)
+    | IDENT "END" -> List.rev (a :: acc)
+    | _ -> actions (a :: acc)
+  in
+  { Ast.condition; actions = actions []; rule_pos }
+
+let parse_scenario st =
+  keyword st "SCENARIO";
+  let scenario_name = ident st in
+  let inactivity_timeout =
+    match peek_token st with
+    | DURATION raw ->
+        let pos = (peek st).pos in
+        advance st;
+        Some (duration_seconds raw pos)
+    | _ -> None
+  in
+  (* counter declarations: IDENT ':' '(' … *)
+  let rec counters acc =
+    match (peek_token st, peek2_token st) with
+    | IDENT _, COLON -> counters (parse_counter_decl st :: acc)
+    | _ -> List.rev acc
+  in
+  let counters = counters [] in
+  let rec rules acc =
+    if is_keyword st "END" then begin
+      advance st;
+      List.rev acc
+    end
+    else if peek_token st = EOF then List.rev acc
+    else rules (parse_rule st :: acc)
+  in
+  let rules = rules [] in
+  { Ast.scenario_name; inactivity_timeout; counters; rules }
+
+let parse_script st =
+  let vars = parse_vars st in
+  let filters = if is_keyword st "FILTER_TABLE" then parse_filters st vars else [] in
+  let nodes = if is_keyword st "NODE_TABLE" then parse_nodes st else [] in
+  let scenario = parse_scenario st in
+  (match peek_token st with
+  | EOF -> ()
+  | other ->
+      fail st (Printf.sprintf "trailing input after END: %s" (token_to_string other)));
+  { Ast.vars; filters; nodes; scenario }
+
+let parse_exn src =
+  match Lexer.tokenize src with
+  | lexemes -> parse_script { lexemes = Array.of_list lexemes; pos = 0 }
+  | exception Lexer.Lex_error (msg, pos) -> raise (Parse_error (msg, pos))
+
+let parse src =
+  match parse_exn src with
+  | script -> Ok script
+  | exception Parse_error (msg, pos) ->
+      Error (Printf.sprintf "%d:%d: %s" pos.Ast.line pos.Ast.col msg)

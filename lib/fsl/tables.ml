@@ -1,0 +1,240 @@
+type tuple_pattern = Bytes_pattern of bytes | Var_pattern of int
+
+type tuple = {
+  t_offset : int;
+  t_len : int;
+  t_mask : bytes option;
+  t_pat : tuple_pattern;
+}
+
+type filter_entry = { fid : int; fname : string; f_tuples : tuple list }
+
+type var_entry = { vid : int; vname : string; v_len : int }
+
+type node_entry = {
+  nid : int;
+  nname : string;
+  nmac : Vw_net.Mac.t;
+  nip : Vw_net.Ip_addr.t;
+}
+
+type counter_kind =
+  | Event of { e_fid : int; e_from : int; e_to : int; e_dir : Ast.direction }
+  | Local
+
+type counter_entry = {
+  cid : int;
+  cname : string;
+  ckind : counter_kind;
+  owner : int;
+  affected_terms : int list;
+  value_subscribers : int list;
+}
+
+type term_operand = Cnt of int | Num of int
+
+type term_entry = {
+  tid : int;
+  left : int;
+  op : Ast.relop;
+  right : term_operand;
+  eval_node : int;
+  status_subscribers : int list;
+  in_conditions : int list;
+}
+
+type cond_expr =
+  | C_true
+  | C_term of int
+  | C_and of cond_expr * cond_expr
+  | C_or of cond_expr * cond_expr
+  | C_not of cond_expr
+
+type cond_entry = {
+  did : int;
+  expr : cond_expr;
+  eval_nodes : int list;
+  cond_actions : (int * int) list;
+}
+
+type fspec = {
+  fs_fid : int;
+  fs_from : int;
+  fs_to : int;
+  fs_dir : Ast.direction;
+}
+
+type compiled_action =
+  | A_assign of int * int
+  | A_enable of int
+  | A_disable of int
+  | A_incr of int * int
+  | A_decr of int * int
+  | A_reset of int
+  | A_set_curtime of int
+  | A_elapsed_time of int
+  | A_drop of fspec
+  | A_delay of fspec * Vw_sim.Simtime.t
+  | A_reorder of fspec * int * int array
+  | A_dup of fspec
+  | A_modify of fspec * (int * bytes) option
+  | A_fail of int
+  | A_stop
+  | A_flag_error of int
+  | A_bind_var of int * bytes
+
+type action_entry = { aid : int; exec_node : int; act : compiled_action }
+
+type t = {
+  scenario_name : string;
+  inactivity_timeout : Vw_sim.Simtime.t option;
+  vars : var_entry array;
+  filters : filter_entry array;
+  nodes : node_entry array;
+  counters : counter_entry array;
+  terms : term_entry array;
+  conds : cond_entry array;
+  actions : action_entry array;
+  rule_of_cond : int array;
+}
+
+let array_find pred arr =
+  let n = Array.length arr in
+  let rec go i = if i = n then None else if pred arr.(i) then Some arr.(i) else go (i + 1) in
+  go 0
+
+let node_by_name t name = array_find (fun n -> n.nname = name) t.nodes
+let node_by_mac t mac = array_find (fun n -> Vw_net.Mac.equal n.nmac mac) t.nodes
+let counter_by_name t name = array_find (fun c -> c.cname = name) t.counters
+let filter_by_name t name = array_find (fun f -> f.fname = name) t.filters
+
+(* --- pretty printing --- *)
+
+let pp_tuple t ppf tuple =
+  let pat =
+    match tuple.t_pat with
+    | Bytes_pattern b -> "0x" ^ Vw_util.Hexutil.to_hex b
+    | Var_pattern vid -> t.vars.(vid).vname
+  in
+  match tuple.t_mask with
+  | None -> Format.fprintf ppf "(%d %d %s)" tuple.t_offset tuple.t_len pat
+  | Some m ->
+      Format.fprintf ppf "(%d %d 0x%s %s)" tuple.t_offset tuple.t_len
+        (Vw_util.Hexutil.to_hex m) pat
+
+let pp_ints ppf ids =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int ids))
+
+let rec pp_expr ppf = function
+  | C_true -> Format.pp_print_string ppf "TRUE"
+  | C_term tid -> Format.fprintf ppf "t%d" tid
+  | C_and (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | C_or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | C_not a -> Format.fprintf ppf "(!%a)" pp_expr a
+
+let pp_action_entry t ppf (a : action_entry) =
+  let node nid = if nid >= 0 && nid < Array.length t.nodes then t.nodes.(nid).nname else "?" in
+  let counter cid = t.counters.(cid).cname in
+  let filter fid = t.filters.(fid).fname in
+  let fs ppf s =
+    Format.fprintf ppf "%s, %s, %s, %s" (filter s.fs_fid) (node s.fs_from)
+      (node s.fs_to)
+      (Ast.direction_to_string s.fs_dir)
+  in
+  match a.act with
+  | A_assign (c, v) -> Format.fprintf ppf "ASSIGN %s := %d" (counter c) v
+  | A_enable c -> Format.fprintf ppf "ENABLE %s" (counter c)
+  | A_disable c -> Format.fprintf ppf "DISABLE %s" (counter c)
+  | A_incr (c, v) -> Format.fprintf ppf "INCR %s += %d" (counter c) v
+  | A_decr (c, v) -> Format.fprintf ppf "DECR %s -= %d" (counter c) v
+  | A_reset c -> Format.fprintf ppf "RESET %s" (counter c)
+  | A_set_curtime c -> Format.fprintf ppf "SET_CURTIME %s" (counter c)
+  | A_elapsed_time c -> Format.fprintf ppf "ELAPSED_TIME %s" (counter c)
+  | A_drop s -> Format.fprintf ppf "DROP(%a)" fs s
+  | A_delay (s, d) ->
+      Format.fprintf ppf "DELAY(%a, %a)" fs s Vw_sim.Simtime.pp d
+  | A_reorder (s, n, order) ->
+      Format.fprintf ppf "REORDER(%a, %d, [%s])" fs s n
+        (String.concat " " (Array.to_list (Array.map string_of_int order)))
+  | A_dup s -> Format.fprintf ppf "DUP(%a)" fs s
+  | A_modify (s, None) -> Format.fprintf ppf "MODIFY(%a, RANDOM)" fs s
+  | A_modify (s, Some (off, b)) ->
+      Format.fprintf ppf "MODIFY(%a, (%d 0x%s))" fs s off
+        (Vw_util.Hexutil.to_hex b)
+  | A_fail nid -> Format.fprintf ppf "FAIL(%s)" (node nid)
+  | A_stop -> Format.pp_print_string ppf "STOP"
+  | A_flag_error rule -> Format.fprintf ppf "FLAG_ERROR (rule %d)" rule
+  | A_bind_var (vid, b) ->
+      Format.fprintf ppf "BIND_VAR(%s, 0x%s)" t.vars.(vid).vname
+        (Vw_util.Hexutil.to_hex b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>SCENARIO %s" t.scenario_name;
+  (match t.inactivity_timeout with
+  | Some d -> Format.fprintf ppf " (inactivity timeout %a)" Vw_sim.Simtime.pp d
+  | None -> ());
+  Format.fprintf ppf "@,-- filter table (%d) --" (Array.length t.filters);
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf "@,  f%d %s: " f.fid f.fname;
+      List.iteri
+        (fun i tuple ->
+          if i > 0 then Format.fprintf ppf ", ";
+          pp_tuple t ppf tuple)
+        f.f_tuples)
+    t.filters;
+  Format.fprintf ppf "@,-- node table (%d) --" (Array.length t.nodes);
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf "@,  n%d %s %a %a" n.nid n.nname Vw_net.Mac.pp n.nmac
+        Vw_net.Ip_addr.pp n.nip)
+    t.nodes;
+  Format.fprintf ppf "@,-- counter table (%d) --" (Array.length t.counters);
+  Array.iter
+    (fun c ->
+      let kind =
+        match c.ckind with
+        | Local -> "local"
+        | Event { e_fid; e_from; e_to; e_dir } ->
+            Printf.sprintf "event %s %s->%s %s" t.filters.(e_fid).fname
+              t.nodes.(e_from).nname t.nodes.(e_to).nname
+              (Ast.direction_to_string e_dir)
+      in
+      Format.fprintf ppf "@,  c%d %s (%s) @@%s terms=%a subscribers=%a" c.cid
+        c.cname kind t.nodes.(c.owner).nname pp_ints c.affected_terms pp_ints
+        c.value_subscribers)
+    t.counters;
+  Format.fprintf ppf "@,-- term table (%d) --" (Array.length t.terms);
+  Array.iter
+    (fun term ->
+      let right =
+        match term.right with
+        | Cnt c -> t.counters.(c).cname
+        | Num n -> string_of_int n
+      in
+      Format.fprintf ppf "@,  t%d: %s %s %s @@%s conds=%a status->%a" term.tid
+        t.counters.(term.left).cname
+        (Ast.relop_to_string term.op)
+        right
+        t.nodes.(term.eval_node).nname
+        pp_ints term.in_conditions pp_ints term.status_subscribers)
+    t.terms;
+  Format.fprintf ppf "@,-- condition table (%d) --" (Array.length t.conds);
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "@,  d%d: %a eval@@%a actions=[%s]" c.did pp_expr
+        c.expr pp_ints c.eval_nodes
+        (String.concat ","
+           (List.map
+              (fun (nid, aid) ->
+                Printf.sprintf "%s:a%d" t.nodes.(nid).nname aid)
+              c.cond_actions)))
+    t.conds;
+  Format.fprintf ppf "@,-- action table (%d) --" (Array.length t.actions);
+  Array.iter
+    (fun a ->
+      Format.fprintf ppf "@,  a%d @@%s: %a" a.aid
+        (if a.exec_node >= 0 then t.nodes.(a.exec_node).nname else "?")
+        (pp_action_entry t) a)
+    t.actions;
+  Format.fprintf ppf "@]"

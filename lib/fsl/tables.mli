@@ -1,0 +1,127 @@
+(** The six tables of Figure 3 — the compiled form of an FSL script.
+
+    "The interpreter parses the script to generate a set of six tables which
+    are used to initialize each FIE and FAE involved in the test scenario."
+
+    The filter and node tables classify packets; the counter, term,
+    condition and action tables hold the execution state dependencies:
+    each counter lists the terms its changes may affect, each term the
+    conditions it appears in, each condition the (node, action) pairs it
+    triggers. All ids are dense indexes into the corresponding arrays.
+    Every node receives the {e entire} set of tables (as the paper does,
+    "for simplicity") and filters by the node ids it plays. *)
+
+type tuple_pattern =
+  | Bytes_pattern of bytes
+  | Var_pattern of int  (** var id, bound at run time *)
+
+type tuple = {
+  t_offset : int;
+  t_len : int;
+  t_mask : bytes option;
+  t_pat : tuple_pattern;
+}
+
+type filter_entry = { fid : int; fname : string; f_tuples : tuple list }
+
+type var_entry = { vid : int; vname : string; v_len : int }
+
+type node_entry = {
+  nid : int;
+  nname : string;
+  nmac : Vw_net.Mac.t;
+  nip : Vw_net.Ip_addr.t;
+}
+
+type counter_kind =
+  | Event of { e_fid : int; e_from : int; e_to : int; e_dir : Ast.direction }
+  | Local
+
+type counter_entry = {
+  cid : int;
+  cname : string;
+  ckind : counter_kind;
+  owner : int;
+      (** node holding the authoritative value: the observing endpoint for
+          event counters, the declared node for locals *)
+  affected_terms : int list;  (** every term referencing this counter *)
+  value_subscribers : int list;
+      (** nodes (≠ owner) that evaluate terms over this counter and hence
+          receive counter-value control messages *)
+}
+
+type term_operand = Cnt of int | Num of int
+
+type term_entry = {
+  tid : int;
+  left : int;  (** counter id *)
+  op : Ast.relop;
+  right : term_operand;
+  eval_node : int;  (** the left counter's owner *)
+  status_subscribers : int list;
+      (** nodes (≠ eval_node) evaluating conditions over this term *)
+  in_conditions : int list;
+}
+
+type cond_expr =
+  | C_true
+  | C_term of int
+  | C_and of cond_expr * cond_expr
+  | C_or of cond_expr * cond_expr
+  | C_not of cond_expr
+
+type cond_entry = {
+  did : int;
+  expr : cond_expr;
+  eval_nodes : int list;  (** where actions hang off this condition *)
+  cond_actions : (int * int) list;  (** (node id, action id) *)
+}
+
+type fspec = {
+  fs_fid : int;
+  fs_from : int;
+  fs_to : int;
+  fs_dir : Ast.direction;
+}
+
+type compiled_action =
+  | A_assign of int * int
+  | A_enable of int
+  | A_disable of int
+  | A_incr of int * int
+  | A_decr of int * int
+  | A_reset of int
+  | A_set_curtime of int
+  | A_elapsed_time of int
+  | A_drop of fspec
+  | A_delay of fspec * Vw_sim.Simtime.t
+  | A_reorder of fspec * int * int array
+  | A_dup of fspec
+  | A_modify of fspec * (int * bytes) option  (** None = random perturbation *)
+  | A_fail of int
+  | A_stop
+  | A_flag_error of int  (** rule index, for error reports *)
+  | A_bind_var of int * bytes  (** var id, value (already width-fitted) *)
+
+type action_entry = { aid : int; exec_node : int; act : compiled_action }
+
+type t = {
+  scenario_name : string;
+  inactivity_timeout : Vw_sim.Simtime.t option;
+  vars : var_entry array;
+  filters : filter_entry array;
+  nodes : node_entry array;
+  counters : counter_entry array;
+  terms : term_entry array;
+  conds : cond_entry array;
+  actions : action_entry array;
+  rule_of_cond : int array;  (** condition id → source rule index *)
+}
+
+val node_by_name : t -> string -> node_entry option
+val node_by_mac : t -> Vw_net.Mac.t -> node_entry option
+val counter_by_name : t -> string -> counter_entry option
+val filter_by_name : t -> string -> filter_entry option
+
+val pp : Format.formatter -> t -> unit
+(** Dump all six tables, the [vwctl parse] output. *)

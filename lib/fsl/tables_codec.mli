@@ -1,0 +1,8 @@
+(** Serialization of the six tables, used by the control node's INIT
+    message: the interpreter compiles the script once and ships identical
+    table images to every FIE/FAE (Section 5.1). *)
+
+val to_bytes : Tables.t -> bytes
+
+val of_bytes : bytes -> (Tables.t, string) result
+(** Total: malformed input yields [Error], never an exception. *)

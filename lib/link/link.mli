@@ -1,0 +1,42 @@
+(** Point-to-point Ethernet links.
+
+    A link has two endpoints. Frames handed to [send] are serialized at the
+    configured bandwidth, experience propagation delay, and may be lost or
+    corrupted. Full-duplex links give each direction an independent channel;
+    half-duplex links share one channel with the CSMA/CD contention model of
+    {!Bus} — the mechanism behind the paper's Figure 7 observation that
+    RLL-level acks increase collisions at high offered load. *)
+
+type config = {
+  bandwidth_bps : float;  (** e.g. 100e6 for the paper's 100 Mbps testbed *)
+  propagation : Vw_sim.Simtime.t;
+  loss_rate : float;  (** probability a frame is silently lost *)
+  corrupt_rate : float;  (** probability one payload byte is flipped *)
+  half_duplex : bool;
+  max_queue : int;  (** per-endpoint transmit queue bound (frames) *)
+}
+
+val default_config : config
+(** 100 Mbps, 5 µs propagation, lossless, full duplex, queue of 64. *)
+
+type t
+type endpoint
+
+val create : Vw_sim.Engine.t -> config -> t
+val endpoint_a : t -> endpoint
+val endpoint_b : t -> endpoint
+val stats : t -> Media_stats.t
+val config : t -> config
+
+val send : endpoint -> bytes -> unit
+(** Queue a frame for transmission from this endpoint. *)
+
+val set_receive : endpoint -> (bytes -> unit) -> unit
+(** Install the frame-arrival callback for this endpoint (frames sent by the
+    peer). Replaces any previous callback. *)
+
+val queue_length : endpoint -> int
+
+val set_down : t -> bool -> unit
+(** [set_down t true] makes the link silently eat every frame — used to
+    emulate a cable pull. *)

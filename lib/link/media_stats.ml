@@ -1,0 +1,25 @@
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_queue : int;
+  mutable dropped_collision : int;
+  mutable corrupted : int;
+}
+
+let create () =
+  {
+    sent = 0;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_queue = 0;
+    dropped_collision = 0;
+    corrupted = 0;
+  }
+
+let total_dropped t = t.dropped_loss + t.dropped_queue + t.dropped_collision
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sent=%d delivered=%d loss=%d queue=%d collision=%d corrupted=%d" t.sent
+    t.delivered t.dropped_loss t.dropped_queue t.dropped_collision t.corrupted

@@ -1,0 +1,14 @@
+(** Frame accounting shared by all physical-layer media (links, buses). *)
+
+type t = {
+  mutable sent : int;  (** frames accepted into a transmit queue *)
+  mutable delivered : int;
+  mutable dropped_loss : int;  (** random loss (models MAC bit errors) *)
+  mutable dropped_queue : int;  (** transmit-queue overflow (tail drop) *)
+  mutable dropped_collision : int;  (** half-duplex collisions / backoff giveups *)
+  mutable corrupted : int;  (** delivered but with a flipped byte *)
+}
+
+val create : unit -> t
+val total_dropped : t -> int
+val pp : Format.formatter -> t -> unit

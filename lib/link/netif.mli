@@ -1,0 +1,10 @@
+(** A first-class network-interface handle: what a host's NIC plugs into.
+
+    Both point-to-point link endpoints and shared-bus endpoints expose the
+    same two capabilities — transmit a frame, and install the
+    frame-arrival callback — so hosts stay agnostic of the medium. *)
+
+type t = { send : bytes -> unit; set_receive : (bytes -> unit) -> unit }
+
+val of_link_endpoint : Link.endpoint -> t
+val of_bus_endpoint : Bus.endpoint -> t

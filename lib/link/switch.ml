@@ -1,0 +1,56 @@
+type stats = {
+  mutable forwarded : int;
+  mutable flooded : int;
+  mutable filtered : int;
+}
+
+type t = {
+  engine : Vw_sim.Engine.t;
+  processing_delay : Vw_sim.Simtime.t;
+  mutable ports : Link.endpoint array;
+  table : (Vw_net.Mac.t, int) Hashtbl.t;
+  stats : stats;
+}
+
+let create ?(processing_delay = Vw_sim.Simtime.us 2) engine () =
+  {
+    engine;
+    processing_delay;
+    ports = [||];
+    table = Hashtbl.create 16;
+    stats = { forwarded = 0; flooded = 0; filtered = 0 };
+  }
+
+let emit t port_idx data =
+  ignore
+    (Vw_sim.Engine.schedule_after t.engine ~delay:t.processing_delay (fun () ->
+         Link.send t.ports.(port_idx) data))
+
+let flood t ~ingress data =
+  t.stats.flooded <- t.stats.flooded + 1;
+  Array.iteri (fun i _ -> if i <> ingress then emit t i data) t.ports
+
+let handle_frame t ~ingress data =
+  if Bytes.length data >= Vw_net.Eth.header_size then begin
+    let dst = Vw_net.Mac.of_bytes data ~pos:0 in
+    let src = Vw_net.Mac.of_bytes data ~pos:6 in
+    Hashtbl.replace t.table src ingress;
+    if Vw_net.Mac.is_broadcast dst then flood t ~ingress data
+    else
+      match Hashtbl.find_opt t.table dst with
+      | Some port when port = ingress -> t.stats.filtered <- t.stats.filtered + 1
+      | Some port ->
+          t.stats.forwarded <- t.stats.forwarded + 1;
+          emit t port data
+      | None -> flood t ~ingress data
+  end
+
+let attach t endpoint =
+  let port = Array.length t.ports in
+  t.ports <- Array.append t.ports [| endpoint |];
+  Link.set_receive endpoint (fun data -> handle_frame t ~ingress:port data);
+  port
+
+let stats t = t.stats
+let learned_ports t = Hashtbl.fold (fun mac port acc -> (mac, port) :: acc) t.table []
+let port_count t = Array.length t.ports

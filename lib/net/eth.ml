@@ -1,0 +1,32 @@
+type t = { dst : Mac.t; src : Mac.t; ethertype : int; payload : bytes }
+
+let header_size = 14
+let ethertype_ipv4 = 0x0800
+let ethertype_rether = 0x9900
+let ethertype_rll = 0x88B5
+let ethertype_vw_control = 0x88B6
+
+let make ~dst ~src ~ethertype payload = { dst; src; ethertype; payload }
+let size t = header_size + Bytes.length t.payload
+
+let to_bytes t =
+  let b = Bytes.create (size t) in
+  Mac.write t.dst b ~pos:0;
+  Mac.write t.src b ~pos:6;
+  Vw_util.Hexutil.set_int_be b ~pos:12 ~len:2 (t.ethertype land 0xffff);
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
+  b
+
+let of_bytes b =
+  if Bytes.length b < header_size then
+    invalid_arg "Eth.of_bytes: frame shorter than header";
+  {
+    dst = Mac.of_bytes b ~pos:0;
+    src = Mac.of_bytes b ~pos:6;
+    ethertype = Vw_util.Hexutil.to_int_be b ~pos:12 ~len:2;
+    payload = Bytes.sub b header_size (Bytes.length b - header_size);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "[eth %a -> %a type=0x%04x len=%d]" Mac.pp t.src Mac.pp
+    t.dst t.ethertype (size t)

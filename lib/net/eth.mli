@@ -1,0 +1,31 @@
+(** Ethernet II frames.
+
+    Frames are the unit that travels on links and that the VirtualWire
+    FIE/FAE classifies: filter-table offsets in FSL scripts are offsets into
+    the serialized frame ([dst]@0, [src]@6, [ethertype]@12, payload from 14 —
+    matching the paper's Figure 2/6 scripts). *)
+
+type t = {
+  dst : Mac.t;
+  src : Mac.t;
+  ethertype : int; (* 16-bit *)
+  payload : bytes;
+}
+
+val header_size : int
+(** 14 bytes. *)
+
+val ethertype_ipv4 : int (* 0x0800 *)
+val ethertype_rether : int (* 0x9900, per the paper's Figure 6 filter table *)
+val ethertype_rll : int (* 0x88B5: RLL encapsulation *)
+val ethertype_vw_control : int (* 0x88B6: VirtualWire control plane *)
+
+val make : dst:Mac.t -> src:Mac.t -> ethertype:int -> bytes -> t
+val size : t -> int
+(** Serialized size in bytes (header + payload; no FCS modeled). *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+(** @raise Invalid_argument if shorter than the header. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+type flags = {
+  fin : bool;
+  syn : bool;
+  rst : bool;
+  psh : bool;
+  ack : bool;
+  urg : bool;
+}
+
+let no_flags =
+  { fin = false; syn = false; rst = false; psh = false; ack = false; urg = false }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_seq : int;
+  flags : flags;
+  window : int;
+  payload : bytes;
+}
+
+let header_size = 20
+
+let make ?(seq = 0) ?(ack_seq = 0) ?(flags = no_flags) ?(window = 65535)
+    ~src_port ~dst_port payload =
+  { src_port; dst_port; seq; ack_seq; flags; window; payload }
+
+let flags_byte f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor (if f.ack then 0x10 else 0)
+  lor if f.urg then 0x20 else 0
+
+let flags_of_byte v =
+  {
+    fin = v land 0x01 <> 0;
+    syn = v land 0x02 <> 0;
+    rst = v land 0x04 <> 0;
+    psh = v land 0x08 <> 0;
+    ack = v land 0x10 <> 0;
+    urg = v land 0x20 <> 0;
+  }
+
+let mask32 = 0xFFFFFFFF
+
+let to_bytes ~src ~dst t =
+  let len = header_size + Bytes.length t.payload in
+  let b = Bytes.create len in
+  Vw_util.Hexutil.set_int_be b ~pos:0 ~len:2 t.src_port;
+  Vw_util.Hexutil.set_int_be b ~pos:2 ~len:2 t.dst_port;
+  Vw_util.Hexutil.set_int_be b ~pos:4 ~len:4 (t.seq land mask32);
+  Vw_util.Hexutil.set_int_be b ~pos:8 ~len:4 (t.ack_seq land mask32);
+  Bytes.set b 12 '\x50' (* data offset 5 words *);
+  Bytes.set b 13 (Char.chr (flags_byte t.flags));
+  Vw_util.Hexutil.set_int_be b ~pos:14 ~len:2 (t.window land 0xffff);
+  Vw_util.Hexutil.set_int_be b ~pos:16 ~len:2 0 (* checksum placeholder *);
+  Vw_util.Hexutil.set_int_be b ~pos:18 ~len:2 0 (* urgent pointer *);
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
+  let init =
+    Udp.pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_tcp ~length:len
+  in
+  let csum = Vw_util.Checksum.finish (Vw_util.Checksum.ones_sum ~init b ~pos:0 ~len) in
+  Vw_util.Hexutil.set_int_be b ~pos:16 ~len:2 csum;
+  b
+
+let of_bytes ~src ~dst b =
+  let len = Bytes.length b in
+  if len < header_size then Error "tcp: truncated header"
+  else
+    let data_offset = (Char.code (Bytes.get b 12) lsr 4) * 4 in
+    if data_offset <> header_size then Error "tcp: options unsupported"
+    else
+      let init =
+        Udp.pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_tcp ~length:len
+      in
+      if Vw_util.Checksum.finish (Vw_util.Checksum.ones_sum ~init b ~pos:0 ~len) <> 0
+      then Error "tcp: checksum mismatch"
+      else
+        Ok
+          {
+            src_port = Vw_util.Hexutil.to_int_be b ~pos:0 ~len:2;
+            dst_port = Vw_util.Hexutil.to_int_be b ~pos:2 ~len:2;
+            seq = Vw_util.Hexutil.to_int_be b ~pos:4 ~len:4;
+            ack_seq = Vw_util.Hexutil.to_int_be b ~pos:8 ~len:4;
+            flags = flags_of_byte (Char.code (Bytes.get b 13));
+            window = Vw_util.Hexutil.to_int_be b ~pos:14 ~len:2;
+            payload = Bytes.sub b header_size (len - header_size);
+          }
+
+let pp ppf t =
+  let f = t.flags in
+  let flag_str =
+    String.concat ""
+      [
+        (if f.syn then "S" else "");
+        (if f.ack then "A" else "");
+        (if f.fin then "F" else "");
+        (if f.rst then "R" else "");
+        (if f.psh then "P" else "");
+        (if f.urg then "U" else "");
+      ]
+  in
+  Format.fprintf ppf "[tcp %d -> %d seq=%d ack=%d %s len=%d]" t.src_port
+    t.dst_port t.seq t.ack_seq flag_str (Bytes.length t.payload)

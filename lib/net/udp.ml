@@ -1,0 +1,57 @@
+type t = { src_port : int; dst_port : int; payload : bytes }
+
+let header_size = 8
+
+let make ~src_port ~dst_port payload = { src_port; dst_port; payload }
+
+let pseudo_header_sum ~src ~dst ~protocol ~length =
+  let ph = Bytes.create 12 in
+  Ip_addr.write src ph ~pos:0;
+  Ip_addr.write dst ph ~pos:4;
+  Bytes.set ph 8 '\x00';
+  Bytes.set ph 9 (Char.chr protocol);
+  Vw_util.Hexutil.set_int_be ph ~pos:10 ~len:2 length;
+  Vw_util.Checksum.ones_sum ph ~pos:0 ~len:12
+
+let to_bytes ~src ~dst t =
+  let len = header_size + Bytes.length t.payload in
+  let b = Bytes.create len in
+  Vw_util.Hexutil.set_int_be b ~pos:0 ~len:2 t.src_port;
+  Vw_util.Hexutil.set_int_be b ~pos:2 ~len:2 t.dst_port;
+  Vw_util.Hexutil.set_int_be b ~pos:4 ~len:2 len;
+  Vw_util.Hexutil.set_int_be b ~pos:6 ~len:2 0;
+  Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
+  let init = pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_udp ~length:len in
+  let csum = Vw_util.Checksum.finish (Vw_util.Checksum.ones_sum ~init b ~pos:0 ~len) in
+  let csum = if csum = 0 then 0xffff else csum in
+  Vw_util.Hexutil.set_int_be b ~pos:6 ~len:2 csum;
+  b
+
+let of_bytes ~src ~dst b =
+  let blen = Bytes.length b in
+  if blen < header_size then Error "udp: truncated header"
+  else
+    let len = Vw_util.Hexutil.to_int_be b ~pos:4 ~len:2 in
+    if len < header_size || len > blen then Error "udp: bad length"
+    else
+      let wire_csum = Vw_util.Hexutil.to_int_be b ~pos:6 ~len:2 in
+      let csum_ok =
+        wire_csum = 0
+        ||
+        let init =
+          pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_udp ~length:len
+        in
+        Vw_util.Checksum.finish (Vw_util.Checksum.ones_sum ~init b ~pos:0 ~len) = 0
+      in
+      if not csum_ok then Error "udp: checksum mismatch"
+      else
+        Ok
+          {
+            src_port = Vw_util.Hexutil.to_int_be b ~pos:0 ~len:2;
+            dst_port = Vw_util.Hexutil.to_int_be b ~pos:2 ~len:2;
+            payload = Bytes.sub b header_size (len - header_size);
+          }
+
+let pp ppf t =
+  Format.fprintf ppf "[udp %d -> %d len=%d]" t.src_port t.dst_port
+    (Bytes.length t.payload)

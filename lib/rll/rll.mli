@@ -1,0 +1,52 @@
+(** RLL — the Reliable Link Layer of Section 3.3.
+
+    "VirtualWire implements a Reliable Link Layer (RLL) to prevent MAC layer
+    bit errors from causing a packet drop when the FIE/FAE is unaware of the
+    packet loss. The RLL guarantees reliable delivery of packets handed over
+    to it by the VirtualWire layer, and is based on a simple sliding window
+    protocol."
+
+    RLL installs as a hook pair at priority {!Vw_stack.Hook.priority_rll}
+    (below VirtualWire's on both paths). Outgoing unicast frames are
+    encapsulated in RLL frames (ethertype 0x88B5) carrying a per-peer
+    32-bit sequence number; receivers deliver in order, buffer
+    out-of-window-order arrivals, and return cumulative acks. Senders keep a
+    sliding window per peer and retransmit on timeout. Broadcast frames
+    bypass RLL unmodified (no reliable broadcast on Ethernet).
+
+    The encapsulation itself is what Figure 7 measures: RLL acks for both
+    TCP data and TCP acks add reverse-direction frames, raising collision
+    odds at high offered load. *)
+
+type config = {
+  window : int;  (** sender window, frames *)
+  retransmit_timeout : Vw_sim.Simtime.t;  (** per-peer RTO (jiffy-rounded) *)
+  max_retries : int;
+      (** retransmissions before a frame is abandoned (peer presumed dead) *)
+  go_back_n : bool;
+      (** on timeout, resend the whole window instead of just its base
+          (ablation knob; default false — see EXPERIMENTS.md) *)
+}
+
+val default_config : config
+(** window 8, RTO 20 ms, 10 retries, base-only retransmission. *)
+
+type stats = {
+  mutable data_sent : int;  (** first transmissions of encapsulated frames *)
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable delivered : int;  (** frames decapsulated and passed up, in order *)
+  mutable duplicates : int;  (** retransmitted frames already delivered *)
+  mutable abandoned : int;  (** frames dropped after [max_retries] *)
+}
+
+type t
+
+val install : ?config:config -> Vw_stack.Host.t -> t
+(** Adds the RLL hooks to the host. All hosts of a testbed should either run
+    RLL or not — mixed deployments deliver nothing between mixed pairs. *)
+
+val uninstall : t -> unit
+val stats : t -> stats
+val in_flight : t -> int
+(** Total unacknowledged frames across peers. *)

@@ -1,0 +1,125 @@
+(* Shared FSL script texts used across test suites: the paper's Figure 5 and
+   Figure 6 scenarios (with the CanTx window arithmetic corrected as
+   documented in DESIGN.md §5 and EXPERIMENTS.md) plus small synthetic
+   scenarios. *)
+
+let figure2_node_table =
+  {|
+NODE_TABLE
+node1 00:46:61:af:fe:23 192.168.1.1
+node2 00:23:31:df:af:12 192.168.1.2
+END
+|}
+
+(* The Figure 5 script: TCP slow-start → congestion-avoidance transition. *)
+let tcp_ss_ca =
+  {|
+VAR SeqNoData, SeqNoAck;
+FILTER_TABLE
+TCP_data_rt1: (34 2 0x6000), (36 2 0x4000), (38 4 SeqNoData), (47 1 0x10 0x10)
+TCP_ack_rt1: (34 2 0x4000), (36 2 0x6000), (42 4 SeqNoAck), (47 1 0x10 0x10)
+TCP_syn: (34 2 0x6000), (36 2 0x4000), (47 1 0x02 0x02)
+TCP_synack: (34 2 0x4000), (36 2 0x6000), (47 1 0x12 0x12)
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+TCP_ack: (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:46:61:af:fe:23 192.168.1.1
+node2 00:23:31:df:af:12 192.168.1.2
+END
+SCENARIO TCP_SS_CA_algo
+SYNACK: (TCP_synack, node2, node1, RECV)
+SA_ACK: (TCP_data, node1, node2, SEND)
+DATA: (TCP_data, node1, node2, SEND)
+ACK: (TCP_ack, node2, node1, RECV)
+CWND: (node1)
+CanTx: (node1)
+CCNT: (node1)
+SSTHRESH: (node1)
+(TRUE) >> ENABLE_CNTR( SYNACK );
+     ENABLE_CNTR( SA_ACK );
+     ENABLE_CNTR( ACK );
+     ASSIGN_CNTR( CWND, 1 );
+     ASSIGN_CNTR( CanTx, 1 );
+     ENABLE_CNTR( CCNT );
+     ASSIGN_CNTR( SSTHRESH, 2 );
+/* Fault Injection: Drop SynAck at Receiver node */
+((SYNACK > 0) && (SYNACK < 2)) >>
+     DROP TCP_synack, node2, node1, RECV;
+/*** ANALYSIS SCRIPT ***/
+/* ACK in response to SYNACK matches tcp_data */
+((SA_ACK = 1)) >> ENABLE_CNTR( DATA );
+     DISABLE_CNTR( SA_ACK );
+((DATA = 1)) >> RESET_CNTR( DATA );
+     DECR_CNTR( CanTx , 1 );
+/* slow-start: each ack slides the window and grows cwnd */
+((CWND <= SSTHRESH) && (ACK = 1)) >>
+     RESET_CNTR( ACK );
+     INCR_CNTR( CWND, 1 );
+     INCR_CNTR( CanTx, 2 );
+/* congestion avoidance */
+((CWND > SSTHRESH) && (ACK = 1)) >>
+     RESET_CNTR( ACK );
+     INCR_CNTR( CanTx, 1 );
+     INCR_CNTR( CCNT, 1 );
+((CWND > SSTHRESH) && (CCNT > CWND)) >>
+     RESET_CNTR( CCNT );
+     INCR_CNTR( CWND, 1 );
+     INCR_CNTR( CanTx, 1 );
+/* Number of data packets that can be sent out is never negative */
+((CanTx < 0)) >> FLAG_ERROR;
+END
+|}
+
+(* The Figure 6 script: Rether single-node-failure recovery. *)
+let rether_failure =
+  {|
+FILTER_TABLE
+tr_token: (12 2 0x9900), (14 2 0x0001)
+tr_token_ack: (12 2 0x9900), (14 2 0010)
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 02:00:00:00:00:01 10.0.0.1
+node2 02:00:00:00:00:02 10.0.0.2
+node3 02:00:00:00:00:03 10.0.0.3
+node4 02:00:00:00:00:04 10.0.0.4
+END
+SCENARIO Test_Single_Node_Failure 1sec
+CNT_DATA: (TCP_data, node1, node4, RECV)
+TokensTo2: (tr_token, node1, node2, RECV)
+TokensFrom2: (tr_token, node2, node3, SEND)
+TokensTo4: (tr_token, node2, node4, RECV)
+TokensTo1: (tr_token, node4, node1, RECV)
+(TRUE) >> ENABLE_CNTR( CNT_DATA );
+((CNT_DATA > 1000)) >> ENABLE_CNTR( TokensTo2 );
+((TokensTo2 = 1)) >> FAIL( node3 );
+     ENABLE_CNTR( TokensFrom2 );
+     RESET_CNTR( TokensTo2 );
+((TokensFrom2 = 3)) >> ENABLE_CNTR( TokensTo4 );
+((TokensTo4 = 1)) >> ENABLE_CNTR( TokensTo1 );
+/*** ANALYSIS SCRIPT ***/
+((TokensFrom2 > 3)) >> FLAG_ERROR;
+((TokensTo2 = 1) && (TokensTo4 = 1) && (TokensTo1 = 1)) >> STOP;
+END
+|}
+
+(* A small UDP drop/dup scenario used by unit and quickstart tests. *)
+let udp_drop_dup =
+  {|
+FILTER_TABLE
+udp_ping: (34 2 0x1388), (36 2 0x1389)
+udp_pong: (34 2 0x1389), (36 2 0x1388)
+END
+NODE_TABLE
+alice 02:00:00:00:00:0a 10.0.0.10
+bob 02:00:00:00:00:0b 10.0.0.11
+END
+SCENARIO udp_drop_dup
+PING: (udp_ping, alice, bob, RECV)
+PONG: (udp_pong, bob, alice, SEND)
+(TRUE) >> ENABLE_CNTR( PING ); ENABLE_CNTR( PONG );
+((PING > 2) && (PING <= 4)) >> DROP( udp_ping, alice, bob, RECV );
+((PONG = 6)) >> DUP( udp_pong, bob, alice, SEND );
+END
+|}

@@ -1,0 +1,46 @@
+(** The discrete-event simulation engine.
+
+    A single engine drives one testbed: links, hosts, protocol timers and
+    the VirtualWire FIE/FAE all schedule callbacks here. Execution is
+    single-threaded and deterministic: events at equal timestamps run in
+    scheduling order. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled callback. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] makes an engine whose root PRNG is seeded with [seed]
+    (default 42); components derive their own streams via [prng]. *)
+
+val now : t -> Simtime.t
+(** Current simulated time. *)
+
+val prng : t -> Vw_util.Prng.t
+(** Derives a fresh independent PRNG stream from the engine's root. *)
+
+val schedule_at : t -> time:Simtime.t -> (unit -> unit) -> handle
+(** Schedule a callback at an absolute time. Times in the past run "now"
+    (at the current instant, after already-queued events for that instant). *)
+
+val schedule_after : t -> delay:Simtime.t -> (unit -> unit) -> handle
+(** Schedule relative to [now]. Negative delays are clamped to zero. *)
+
+val cancel : t -> handle -> unit
+
+val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
+(** [run t] processes events until the queue is empty, [until] is reached
+    (events strictly after [until] stay queued; [now] advances to [until]),
+    or [max_events] callbacks have run. Exceptions from callbacks propagate
+    and abort the run. *)
+
+val step : t -> bool
+(** Run a single event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled, uncancelled events. *)
+
+val stop : t -> unit
+(** Request that [run] return after the current callback; used by the STOP
+    action and scenario timeouts. *)

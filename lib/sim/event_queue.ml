@@ -1,0 +1,108 @@
+(* Binary min-heap ordered by (time, sequence number). Cancellation marks the
+   entry dead; dead entries are skipped lazily at pop time. *)
+
+type 'a entry = {
+  time : Simtime.t;
+  seq : int;
+  payload : 'a;
+  mutable live : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live_count : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live_count = 0 }
+let is_empty t = t.live_count = 0
+let length t = t.live_count
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  if t.size > 0 then begin
+    let heap = Array.make cap t.heap.(0) in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then
+    if t.size = 0 then t.heap <- Array.make 16 entry else grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live_count <- t.live_count + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel t (H entry) =
+  (* The handle's entry may belong to another queue of the same payload
+     type; [live] is per-entry so this is still safe — cancellation only
+     marks, removal happens where the entry is stored. *)
+  if entry.live then begin
+    entry.live <- false;
+    (* The live count belongs to the queue holding the entry; since handles
+       are only meaningful for the queue that created them, decrement here. *)
+    t.live_count <- t.live_count - 1
+  end
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    if top.live then begin
+      top.live <- false;
+      t.live_count <- t.live_count - 1;
+      Some (top.time, top.payload)
+    end
+    else pop t
+  end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).live then Some t.heap.(0).time
+  else begin
+    (* Drop the dead top and retry. *)
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    peek_time t
+  end

@@ -1,0 +1,25 @@
+(** A priority queue of timestamped events with stable FIFO tie-breaking.
+
+    Events scheduled for the same instant fire in insertion order, which
+    keeps simulations deterministic — the engine's cascade (packet arrival →
+    counter update → control message) frequently schedules several events at
+    the same nanosecond. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> time:Simtime.t -> 'a -> handle
+val cancel : 'a t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Removes and returns the earliest live event. *)
+
+val peek_time : 'a t -> Simtime.t option

@@ -1,0 +1,14 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec s = int_of_float ((s *. 1e9) +. 0.5)
+let jiffy = ms 10
+let to_sec t = float_of_int t /. 1e9
+let to_ms t = float_of_int t /. 1e6
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let compare = Stdlib.compare
+let pp ppf t = Format.fprintf ppf "%.6fs" (to_sec t)

@@ -1,0 +1,28 @@
+(** Simulated time, counted in integer nanoseconds.
+
+    An [int] holds 63 bits here, i.e. ~292 years of nanoseconds, which is
+    ample for any test run while keeping arithmetic exact and the event
+    queue totally ordered — essential for reproducible fault-injection
+    schedules. *)
+
+type t = int
+(** Nanoseconds since the start of the simulation. *)
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : float -> t
+(** [sec s] converts (fractional) seconds; rounds to the nearest ns. *)
+
+val jiffy : t
+(** One Linux-2.4 jiffy: 10 ms. The DELAY fault primitive and host timers are
+    quantized to this, as in the paper. *)
+
+val to_sec : t -> float
+val to_ms : t -> float
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as seconds with microsecond precision, e.g. ["1.000250s"]. *)

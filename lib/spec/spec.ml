@@ -1,0 +1,150 @@
+type packet = {
+  filter : string;
+  from_node : string;
+  to_node : string;
+  dir : [ `Send | `Recv ];
+}
+
+type expectation =
+  | At_least of packet * int
+  | At_most of packet * int
+  | Exactly of packet * int
+  | After of packet * int * packet * int
+
+type fault =
+  | Drop_window of packet * int * int
+  | Delay_from of packet * int * float
+  | Duplicate_at of packet * int
+  | Corrupt_at of packet * int
+  | Crash_when of packet * int * string
+
+type t = {
+  name : string;
+  inactivity_timeout : float option;
+  filters : (string * string) list;
+  nodes : (string * string * string) list;
+  mutable faults : fault list; (* reversed *)
+  mutable expectations : expectation list; (* reversed *)
+}
+
+let create ~name ?inactivity_timeout ~filters ~nodes () =
+  { name; inactivity_timeout; filters; nodes; faults = []; expectations = [] }
+
+let inject t fault = t.faults <- fault :: t.faults
+let expect t expectation = t.expectations <- expectation :: t.expectations
+
+let dir_text = function `Send -> "SEND" | `Recv -> "RECV"
+
+(* One shared event counter per observed (packet, endpoint, direction). *)
+let counter_name p =
+  Printf.sprintf "C_%s_%s_%s_%s" p.filter p.from_node p.to_node
+    (match p.dir with `Send -> "S" | `Recv -> "R")
+
+let packet_args p =
+  Printf.sprintf "%s, %s, %s, %s" p.filter p.from_node p.to_node (dir_text p.dir)
+
+let duration_ms seconds = Printf.sprintf "%gms" (seconds *. 1000.)
+
+let to_script t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* filter table *)
+  add "FILTER_TABLE\n";
+  List.iter (fun (name, tuples) -> add "%s: %s\n" name tuples) t.filters;
+  add "END\n";
+  (* node table *)
+  add "NODE_TABLE\n";
+  List.iter (fun (name, mac, ip) -> add "%s %s %s\n" name mac ip) t.nodes;
+  add "END\n";
+  (* scenario *)
+  add "SCENARIO %s%s\n" t.name
+    (match t.inactivity_timeout with
+    | Some s -> " " ^ duration_ms s
+    | None -> "");
+  let faults = List.rev t.faults in
+  let expectations = List.rev t.expectations in
+  (* primary counters: every packet any fault or expectation watches *)
+  let primaries = Hashtbl.create 8 in
+  let watch p =
+    let c = counter_name p in
+    if not (Hashtbl.mem primaries c) then Hashtbl.replace primaries c p;
+    c
+  in
+  List.iter
+    (fun fault ->
+      ignore
+        (watch
+           (match fault with
+           | Drop_window (p, _, _)
+           | Delay_from (p, _, _)
+           | Duplicate_at (p, _)
+           | Corrupt_at (p, _)
+           | Crash_when (p, _, _) ->
+               p)))
+    faults;
+  (* secondary counters for After expectations, in declaration order *)
+  let secondaries = ref [] in
+  List.iteri
+    (fun i expectation ->
+      match expectation with
+      | At_least (p, _) | At_most (p, _) | Exactly (p, _) -> ignore (watch p)
+      | After (p, _, q, _) ->
+          ignore (watch p);
+          secondaries := (Printf.sprintf "D%d" i, q) :: !secondaries)
+    expectations;
+  let secondaries = List.rev !secondaries in
+  (* declarations: stable order — sort primary names *)
+  let primary_list =
+    Hashtbl.fold (fun c p acc -> (c, p) :: acc) primaries []
+    |> List.sort compare
+  in
+  List.iter (fun (c, p) -> add "%s: (%s)\n" c (packet_args p)) primary_list;
+  List.iter (fun (d, q) -> add "%s: (%s)\n" d (packet_args q)) secondaries;
+  (* init rule *)
+  if primary_list <> [] then begin
+    add "(TRUE) >>";
+    List.iter (fun (c, _) -> add " ENABLE_CNTR( %s );" c) primary_list;
+    add "\n"
+  end;
+  (* fault rules *)
+  List.iter
+    (fun fault ->
+      match fault with
+      | Drop_window (p, lo, hi) ->
+          add "((%s > %d) && (%s <= %d)) >> DROP( %s );\n" (counter_name p) lo
+            (counter_name p) hi (packet_args p)
+      | Delay_from (p, n, seconds) ->
+          add "((%s > %d)) >> DELAY( %s, %s );\n" (counter_name p) n
+            (packet_args p) (duration_ms seconds)
+      | Duplicate_at (p, n) ->
+          add "((%s = %d)) >> DUP( %s );\n" (counter_name p) n (packet_args p)
+      | Corrupt_at (p, n) ->
+          add "((%s = %d)) >> MODIFY( %s, RANDOM );\n" (counter_name p) n
+            (packet_args p)
+      | Crash_when (p, n, node) ->
+          add "((%s = %d)) >> FAIL( %s );\n" (counter_name p) n node)
+    faults;
+  (* expectation rules *)
+  let stop_terms = ref [] in
+  List.iteri
+    (fun i expectation ->
+      match expectation with
+      | At_least (p, n) ->
+          stop_terms := Printf.sprintf "(%s >= %d)" (counter_name p) n :: !stop_terms
+      | At_most (p, n) ->
+          add "((%s > %d)) >> FLAG_ERROR;\n" (counter_name p) n
+      | Exactly (p, n) ->
+          add "((%s > %d)) >> FLAG_ERROR;\n" (counter_name p) n;
+          stop_terms := Printf.sprintf "(%s >= %d)" (counter_name p) n :: !stop_terms
+      | After (p, n, _, m) ->
+          let d = Printf.sprintf "D%d" i in
+          add "((%s = %d)) >> ENABLE_CNTR( %s );\n" (counter_name p) n d;
+          stop_terms := Printf.sprintf "(%s >= %d)" d m :: !stop_terms)
+    expectations;
+  (match List.rev !stop_terms with
+  | [] -> ()
+  | terms -> add "(%s) >> STOP;\n" (String.concat " && " terms));
+  add "END\n";
+  Buffer.contents buf
+
+let generate t = Vw_fsl.Compile.parse_and_compile (to_script t)

@@ -1,0 +1,8 @@
+type point = Ingress | Egress
+
+type verdict = Accept of Vw_net.Eth.t | Drop | Stolen
+
+type handler = Vw_net.Eth.t -> verdict
+
+let priority_virtualwire = 100
+let priority_rll = 200

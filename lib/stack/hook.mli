@@ -1,0 +1,34 @@
+(** Packet-interception hooks — the Netfilter analogue.
+
+    The paper inserts the FIE/FAE "between the network interface card's
+    device driver and the IP protocol stack" using Linux 2.4 Netfilter
+    hooks. Here, every host carries two ordered hook chains:
+
+    - {b egress}: frames from the IP layer (or any protocol above the
+      driver) pass the chain in {e ascending} priority before reaching the
+      NIC;
+    - {b ingress}: frames from the NIC pass the chain in {e descending}
+      priority before reaching protocol demultiplexing.
+
+    With the conventional priorities (VirtualWire 100, RLL 200) this puts
+    RLL below VirtualWire on both paths, exactly as Section 3.3 requires:
+    the FIE hands packets {e to} the RLL on the way out and receives
+    de-encapsulated packets {e from} it on the way in. *)
+
+type point = Ingress | Egress
+
+type verdict =
+  | Accept of Vw_net.Eth.t
+      (** continue down/up the chain, possibly with a transformed frame *)
+  | Drop  (** consume silently (the DROP fault, invalid checksums, …) *)
+  | Stolen
+      (** the layer took ownership and will reinject later (DELAY, REORDER,
+          RLL retransmission queues) *)
+
+type handler = Vw_net.Eth.t -> verdict
+
+val priority_virtualwire : int
+(** 100 *)
+
+val priority_rll : int
+(** 200 *)

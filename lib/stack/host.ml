@@ -1,0 +1,318 @@
+let src = Logs.Src.create "vw.host" ~doc:"VirtualWire host stack"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type hook_entry = {
+  id : int;
+  point : Hook.point;
+  priority : int;
+  hook_name : string;
+  handler : Hook.handler;
+}
+
+type hook_id = int
+type timer = { mutable cancelled : bool }
+
+type t = {
+  engine : Vw_sim.Engine.t;
+  name : string;
+  mac : Vw_net.Mac.t;
+  ip : Vw_net.Ip_addr.t;
+  mutable nic : Vw_link.Netif.t option;
+  mutable hooks : hook_entry list; (* kept sorted in egress chain order *)
+  mutable next_hook_id : int;
+  ethertype_handlers : (int, Vw_net.Eth.t -> unit) Hashtbl.t;
+  ip_handlers : (int, Vw_net.Ipv4.t -> unit) Hashtbl.t;
+  udp_ports : (int, src:Vw_net.Ip_addr.t -> src_port:int -> bytes -> unit) Hashtbl.t;
+  neighbors : (Vw_net.Ip_addr.t, Vw_net.Mac.t) Hashtbl.t;
+  pending_resolution : (Vw_net.Ip_addr.t, bytes Queue.t) Hashtbl.t;
+  mutable neighbor_miss : (Vw_net.Ip_addr.t -> unit) option;
+  mutable icmp_observer : (Vw_net.Ipv4.t -> Vw_net.Icmp.t -> unit) option;
+  mutable tap : (dir:[ `In | `Out ] -> Vw_net.Eth.t -> unit) option;
+  mutable failed : bool;
+  mutable ip_ident : int;
+  mutable frames_sent : int;
+  mutable frames_received : int;
+}
+
+let engine t = t.engine
+let name t = t.name
+let mac t = t.mac
+let ip t = t.ip
+let frames_sent t = t.frames_sent
+let frames_received t = t.frames_received
+
+(* Chain order: egress runs ascending priority; ingress runs descending.
+   [t.hooks] is kept ascending by (priority, id). *)
+let chain t point =
+  let same = List.filter (fun h -> h.point = point) t.hooks in
+  match point with Hook.Egress -> same | Hook.Ingress -> List.rev same
+
+let add_hook t point ~priority ~name handler =
+  let id = t.next_hook_id in
+  t.next_hook_id <- id + 1;
+  let entry = { id; point; priority; hook_name = name; handler } in
+  t.hooks <-
+    List.stable_sort
+      (fun a b -> compare (a.priority, a.id) (b.priority, b.id))
+      (entry :: t.hooks);
+  id
+
+let remove_hook t id = t.hooks <- List.filter (fun h -> h.id <> id) t.hooks
+
+(* Runs [frame] through the hooks of [hooks] (already in chain order);
+   [sink] receives the frame if it survives. *)
+let rec run_chain hooks sink frame =
+  match hooks with
+  | [] -> sink frame
+  | h :: rest -> (
+      match h.handler frame with
+      | Hook.Accept frame' -> run_chain rest sink frame'
+      | Hook.Drop -> ()
+      | Hook.Stolen -> ())
+
+let transmit t (frame : Vw_net.Eth.t) =
+  if not t.failed then begin
+    (match t.tap with Some tap -> tap ~dir:`Out frame | None -> ());
+    t.frames_sent <- t.frames_sent + 1;
+    match t.nic with
+    | Some nic -> nic.Vw_link.Netif.send (Vw_net.Eth.to_bytes frame)
+    | None -> Log.warn (fun m -> m "%s: transmit with no NIC attached" t.name)
+  end
+
+let demux t (frame : Vw_net.Eth.t) =
+  match Hashtbl.find_opt t.ethertype_handlers frame.ethertype with
+  | Some handler -> handler frame
+  | None ->
+      Log.debug (fun m ->
+          m "%s: no handler for ethertype 0x%04x" t.name frame.ethertype)
+
+let egress_sink t frame = transmit t frame
+let ingress_sink t frame = demux t frame
+
+let send_frame t frame =
+  if not t.failed then run_chain (chain t Hook.Egress) (egress_sink t) frame
+
+let reinject t point ~from_priority frame =
+  if not t.failed then
+    match point with
+    | Hook.Egress ->
+        let beyond =
+          List.filter (fun h -> h.priority > from_priority) (chain t Hook.Egress)
+        in
+        run_chain beyond (egress_sink t) frame
+    | Hook.Ingress ->
+        let beyond =
+          List.filter (fun h -> h.priority < from_priority) (chain t Hook.Ingress)
+        in
+        run_chain beyond (ingress_sink t) frame
+
+let receive t data =
+  if not t.failed then begin
+    match Vw_net.Frame_view.of_bytes data with
+    | None -> () (* runt frame *)
+    | Some view ->
+        let frame = view.eth in
+        (* NICs filter on destination MAC unless it is ours or broadcast. *)
+        if
+          Vw_net.Mac.equal frame.dst t.mac
+          || Vw_net.Mac.is_broadcast frame.dst
+        then begin
+          (match t.tap with Some tap -> tap ~dir:`In frame | None -> ());
+          t.frames_received <- t.frames_received + 1;
+          run_chain (chain t Hook.Ingress) (ingress_sink t) frame
+        end
+  end
+
+let attach t nic =
+  t.nic <- Some nic;
+  nic.Vw_link.Netif.set_receive (fun data -> receive t data)
+
+let set_ethertype_handler t ethertype handler =
+  Hashtbl.replace t.ethertype_handlers ethertype handler
+
+let set_tap t tap = t.tap <- Some tap
+
+(* --- IPv4 --- *)
+
+let max_pending_per_neighbor = 16
+
+let emit_ip t ~dst_mac packet_bytes =
+  let frame =
+    Vw_net.Eth.make ~dst:dst_mac ~src:t.mac
+      ~ethertype:Vw_net.Eth.ethertype_ipv4 packet_bytes
+  in
+  send_frame t frame
+
+let add_neighbor t ip mac =
+  Hashtbl.replace t.neighbors ip mac;
+  (* release any packets parked on this resolution *)
+  match Hashtbl.find_opt t.pending_resolution ip with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove t.pending_resolution ip;
+      Queue.iter (fun packet_bytes -> emit_ip t ~dst_mac:mac packet_bytes) q
+
+let remove_neighbor t ip = Hashtbl.remove t.neighbors ip
+
+let neighbor t ip = Hashtbl.find_opt t.neighbors ip
+
+let set_neighbor_miss_handler t handler = t.neighbor_miss <- handler
+
+let drop_pending t ip =
+  match Hashtbl.find_opt t.pending_resolution ip with
+  | None -> 0
+  | Some q ->
+      Hashtbl.remove t.pending_resolution ip;
+      Queue.length q
+
+let send_ip t ?(ttl = 64) ~protocol ~dst payload =
+  t.ip_ident <- (t.ip_ident + 1) land 0xffff;
+  let packet =
+    Vw_net.Ipv4.make ~ttl ~ident:t.ip_ident ~protocol ~src:t.ip ~dst payload
+  in
+  let packet_bytes = Vw_net.Ipv4.to_bytes packet in
+  match Hashtbl.find_opt t.neighbors dst with
+  | Some mac -> emit_ip t ~dst_mac:mac packet_bytes
+  | None -> (
+      match t.neighbor_miss with
+      | None ->
+          (* no resolver: fall back to broadcast, the static-testbed
+             behaviour (the NIC filter at the destination still applies) *)
+          emit_ip t ~dst_mac:Vw_net.Mac.broadcast packet_bytes
+      | Some miss ->
+          let q =
+            match Hashtbl.find_opt t.pending_resolution dst with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.replace t.pending_resolution dst q;
+                q
+          in
+          if Queue.length q < max_pending_per_neighbor then
+            Queue.add packet_bytes q;
+          miss dst)
+
+let set_ip_protocol_handler t protocol handler =
+  Hashtbl.replace t.ip_handlers protocol handler
+
+let handle_ip t (frame : Vw_net.Eth.t) =
+  match Vw_net.Ipv4.of_bytes frame.payload with
+  | Error e -> Log.debug (fun m -> m "%s: dropped IP packet: %s" t.name e)
+  | Ok packet ->
+      if Vw_net.Ip_addr.equal packet.dst t.ip then
+        match Hashtbl.find_opt t.ip_handlers packet.protocol with
+        | Some handler -> handler packet
+        | None ->
+            Log.debug (fun m ->
+                m "%s: no handler for IP protocol %d" t.name packet.protocol)
+
+(* --- ICMP --- *)
+
+let send_icmp t ~dst message =
+  send_ip t ~protocol:Vw_net.Icmp.protocol ~dst (Vw_net.Icmp.to_bytes message)
+
+let set_icmp_observer t observer = t.icmp_observer <- observer
+
+let handle_icmp t (packet : Vw_net.Ipv4.t) =
+  match Vw_net.Icmp.of_bytes packet.payload with
+  | Error e -> Log.debug (fun m -> m "%s: dropped ICMP: %s" t.name e)
+  | Ok (Vw_net.Icmp.Echo_request { id; seq; payload }) ->
+      send_icmp t ~dst:packet.src
+        (Vw_net.Icmp.Echo_reply { id; seq; payload })
+  | Ok message -> (
+      match t.icmp_observer with
+      | Some observer -> observer packet message
+      | None -> ())
+
+(* --- UDP --- *)
+
+let handle_udp t (packet : Vw_net.Ipv4.t) =
+  match Vw_net.Udp.of_bytes ~src:packet.src ~dst:packet.dst packet.payload with
+  | Error e -> Log.debug (fun m -> m "%s: dropped UDP datagram: %s" t.name e)
+  | Ok dgram -> (
+      match Hashtbl.find_opt t.udp_ports dgram.dst_port with
+      | Some handler ->
+          handler ~src:packet.src ~src_port:dgram.src_port dgram.payload
+      | None ->
+          (* port unreachable: echo the offending IP header + 8 payload
+             bytes back, per RFC 792 *)
+          let original_ip = Vw_net.Ipv4.to_bytes packet in
+          let original =
+            Bytes.sub original_ip 0
+              (min (Bytes.length original_ip) (Vw_net.Ipv4.header_size + 8))
+          in
+          send_icmp t ~dst:packet.src
+            (Vw_net.Icmp.Dest_unreachable
+               { code = Vw_net.Icmp.code_port_unreachable; original }))
+
+let udp_bind t ~port handler =
+  if Hashtbl.mem t.udp_ports port then
+    invalid_arg (Printf.sprintf "Host.udp_bind: port %d already bound" port);
+  Hashtbl.replace t.udp_ports port handler
+
+let udp_unbind t ~port = Hashtbl.remove t.udp_ports port
+
+let udp_send t ~src_port ~dst ~dst_port payload =
+  let dgram = Vw_net.Udp.make ~src_port ~dst_port payload in
+  send_ip t ~protocol:Vw_net.Ipv4.protocol_udp ~dst
+    (Vw_net.Udp.to_bytes ~src:t.ip ~dst dgram)
+
+(* --- Timers --- *)
+
+let set_timer t ?(granularity = `Jiffy) ~delay fn =
+  let timer = { cancelled = false } in
+  let now = Vw_sim.Engine.now t.engine in
+  let expiry = Vw_sim.Simtime.(now + max 0 delay) in
+  let expiry =
+    match granularity with
+    | `Fine -> expiry
+    | `Jiffy ->
+        (* Round up to the next jiffy boundary, as Linux 2.4 add_timer does. *)
+        let j = Vw_sim.Simtime.jiffy in
+        (expiry + j - 1) / j * j
+  in
+  ignore
+    (Vw_sim.Engine.schedule_at t.engine ~time:expiry (fun () ->
+         if (not timer.cancelled) && not t.failed then fn ()));
+  timer
+
+let cancel_timer _t timer = timer.cancelled <- true
+
+(* --- Failure --- *)
+
+let fail t =
+  Log.info (fun m -> m "%s: node FAILED" t.name);
+  t.failed <- true
+
+let revive t = t.failed <- false
+let is_failed t = t.failed
+
+let create engine ~name ~mac ~ip =
+  let t =
+    {
+      engine;
+      name;
+      mac;
+      ip;
+      nic = None;
+      hooks = [];
+      next_hook_id = 0;
+      ethertype_handlers = Hashtbl.create 8;
+      ip_handlers = Hashtbl.create 8;
+      udp_ports = Hashtbl.create 8;
+      neighbors = Hashtbl.create 8;
+      pending_resolution = Hashtbl.create 8;
+      neighbor_miss = None;
+      icmp_observer = None;
+      tap = None;
+      failed = false;
+      ip_ident = 0;
+      frames_sent = 0;
+      frames_received = 0;
+    }
+  in
+  set_ethertype_handler t Vw_net.Eth.ethertype_ipv4 (handle_ip t);
+  set_ip_protocol_handler t Vw_net.Ipv4.protocol_udp (handle_udp t);
+  set_ip_protocol_handler t Vw_net.Icmp.protocol (handle_icmp t);
+  t

@@ -1,0 +1,128 @@
+(** A simulated testbed host: NIC, hook chains, IPv4, UDP, timers.
+
+    This is the substrate the paper assumes (a Linux 2.4 box on the LAN):
+    it owns one NIC attached to a {!Vw_link.Link} endpoint, demultiplexes
+    incoming frames by ethertype, provides an IPv4 send/receive service with
+    a static neighbor (ARP-replacement) table, UDP sockets, and
+    jiffy-granular software timers. The VirtualWire FIE/FAE and the RLL
+    install themselves as hooks; nothing in the host itself knows about
+    them — the "no changes to the host operating system" property of
+    Section 3.3. *)
+
+type t
+
+type hook_id
+type timer
+
+val create :
+  Vw_sim.Engine.t -> name:string -> mac:Vw_net.Mac.t -> ip:Vw_net.Ip_addr.t -> t
+
+val engine : t -> Vw_sim.Engine.t
+val name : t -> string
+val mac : t -> Vw_net.Mac.t
+val ip : t -> Vw_net.Ip_addr.t
+
+val attach : t -> Vw_link.Netif.t -> unit
+(** Connect the NIC to a medium (installs the receive callback). *)
+
+(** {1 Hook chains} *)
+
+val add_hook :
+  t -> Hook.point -> priority:int -> name:string -> Hook.handler -> hook_id
+(** Lower priority = closer to the protocol stack; see {!Hook}. Hooks with
+    equal priority run in insertion order on egress. *)
+
+val remove_hook : t -> hook_id -> unit
+
+val reinject : t -> Hook.point -> from_priority:int -> Vw_net.Eth.t -> unit
+(** Continue a previously [Stolen] frame through the rest of the chain —
+    the hooks strictly beyond [from_priority] in chain order — and on to the
+    NIC (egress) or the demultiplexer (ingress). *)
+
+(** {1 Frame level} *)
+
+val send_frame : t -> Vw_net.Eth.t -> unit
+(** Push a frame down the full egress chain and out the NIC. *)
+
+val set_ethertype_handler : t -> int -> (Vw_net.Eth.t -> unit) -> unit
+(** Register the upper-layer receiver for an ethertype (IPv4 is installed
+    automatically; Rether, RLL and the control plane register theirs). *)
+
+val set_tap : t -> (dir:[ `In | `Out ] -> Vw_net.Eth.t -> unit) -> unit
+(** Promiscuous observation point at the NIC boundary (after egress hooks /
+    before ingress hooks) — the tcpdump equivalent used for trace capture.
+    Does not interfere with delivery. *)
+
+(** {1 IPv4} *)
+
+val add_neighbor : t -> Vw_net.Ip_addr.t -> Vw_net.Mac.t -> unit
+(** Install a neighbor entry (static, or learned by a resolver). Packets
+    parked waiting for this resolution are released immediately. *)
+
+val remove_neighbor : t -> Vw_net.Ip_addr.t -> unit
+val neighbor : t -> Vw_net.Ip_addr.t -> Vw_net.Mac.t option
+
+val set_neighbor_miss_handler : t -> (Vw_net.Ip_addr.t -> unit) option -> unit
+(** With a handler installed (e.g. {!Arp}), IP packets to unknown neighbors
+    are parked (bounded per destination) and the handler is asked to
+    resolve; {!add_neighbor} releases them. Without one, unknown neighbors
+    are sent to the broadcast MAC — the static-testbed behaviour. *)
+
+val drop_pending : t -> Vw_net.Ip_addr.t -> int
+(** Discard packets parked on an unresolvable destination; returns how many
+    were dropped. *)
+
+val send_ip :
+  t -> ?ttl:int -> protocol:int -> dst:Vw_net.Ip_addr.t -> bytes -> unit
+
+val set_ip_protocol_handler : t -> int -> (Vw_net.Ipv4.t -> unit) -> unit
+(** Receiver for an IP protocol number. Frames whose IPv4 header fails to
+    parse (e.g. after a MODIFY fault) are dropped, as a real stack would. *)
+
+(** {1 ICMP}
+
+    Hosts answer echo requests automatically (like a kernel) and emit
+    port-unreachable errors for unbound UDP ports. Other inbound ICMP goes
+    to the observer — how {!Vw_apps.Ping} collects replies. *)
+
+val send_icmp : t -> dst:Vw_net.Ip_addr.t -> Vw_net.Icmp.t -> unit
+val set_icmp_observer :
+  t -> (Vw_net.Ipv4.t -> Vw_net.Icmp.t -> unit) option -> unit
+
+(** {1 UDP} *)
+
+val udp_bind :
+  t ->
+  port:int ->
+  (src:Vw_net.Ip_addr.t -> src_port:int -> bytes -> unit) ->
+  unit
+(** @raise Invalid_argument if the port is taken. *)
+
+val udp_unbind : t -> port:int -> unit
+
+val udp_send :
+  t -> src_port:int -> dst:Vw_net.Ip_addr.t -> dst_port:int -> bytes -> unit
+
+(** {1 Timers}
+
+    Timers fire on the host's 10 ms jiffy grid by default, like Linux 2.4
+    software timers — so the paper's remark that DELAY "can be no less than
+    a jiffy" holds here too. [`Fine] timers fire exactly. *)
+
+val set_timer :
+  t -> ?granularity:[ `Jiffy | `Fine ] -> delay:Vw_sim.Simtime.t ->
+  (unit -> unit) -> timer
+
+val cancel_timer : t -> timer -> unit
+
+(** {1 Failure injection} *)
+
+val fail : t -> unit
+(** Crash the node: the NIC stops sending and receiving and all pending
+    timers are inhibited. Implements the FAIL(node) action. *)
+
+val revive : t -> unit
+val is_failed : t -> bool
+
+val frames_sent : t -> int
+val frames_received : t -> int

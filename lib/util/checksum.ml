@@ -1,0 +1,25 @@
+let ones_sum ?(init = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.ones_sum: out of range";
+  let acc = ref init in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    acc :=
+      !acc
+      + ((Char.code (Bytes.get b !i) lsl 8) lor Char.code (Bytes.get b (!i + 1)));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+let checksum b ~pos ~len = finish (ones_sum b ~pos ~len)
+
+let is_valid b ~pos ~len = finish (ones_sum b ~pos ~len) = 0

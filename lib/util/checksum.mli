@@ -1,0 +1,23 @@
+(** The Internet checksum (RFC 1071), used by the IPv4, UDP and TCP codecs.
+
+    The checksum is the one's-complement of the one's-complement sum of the
+    data viewed as big-endian 16-bit words, with odd trailing bytes padded
+    with a zero byte. *)
+
+val ones_sum : ?init:int -> bytes -> pos:int -> len:int -> int
+(** [ones_sum ?init b ~pos ~len] folds the 16-bit one's-complement sum of
+    [len] bytes of [b] starting at [pos] into [init] (default 0). The result
+    is an unfolded 32-bit-ish accumulator suitable for chaining over several
+    regions (e.g. pseudo-header then payload). *)
+
+val finish : int -> int
+(** [finish acc] folds carries and complements, yielding the 16-bit checksum
+    value to store in a header. A computed value of 0 is returned as 0
+    (callers that need UDP's 0xffff convention handle it themselves). *)
+
+val checksum : bytes -> pos:int -> len:int -> int
+(** [checksum b ~pos ~len] is [finish (ones_sum b ~pos ~len)]. *)
+
+val is_valid : bytes -> pos:int -> len:int -> bool
+(** [is_valid b ~pos ~len] checks that a region containing its own checksum
+    field sums to the all-ones pattern, i.e. verifies without zeroing. *)

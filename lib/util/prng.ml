@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (bits64 t) land max_int in
+  v mod n
+
+let float t =
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let byte t = int t 256
+
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u

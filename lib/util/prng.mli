@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic element of the simulation — link loss, corruption,
+    collision backoff, MODIFY's random byte perturbation — draws from an
+    explicit generator so whole test runs are reproducible from a seed.
+    The global [Random] module is never used. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] makes an independent generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing [t].
+    Used to give each link / host its own stream so adding a component does
+    not perturb the draws of the others. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val byte : t -> int
+(** Uniform byte in [\[0, 255\]]. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution; used for
+    randomized inter-arrival workloads. *)

@@ -1,0 +1,24 @@
+(* Entry point: aggregates every suite. Run with `dune runtest`. *)
+
+let () =
+  Alcotest.run "virtualwire"
+    (List.concat
+       [
+         Test_util.suite;
+         Test_sim.suite;
+         Test_net.suite;
+         Test_link.suite;
+         Test_stack.suite;
+         Test_rll.suite;
+         Test_tcp.suite;
+         Test_rether.suite;
+         Test_fsl.suite;
+         Test_engine.suite;
+         Test_integration.suite;
+         Test_spec.suite;
+         Test_trace.suite;
+         Test_suite.suite;
+         Test_http.suite;
+         Test_arp.suite;
+         Test_stress.suite;
+       ])

@@ -1,0 +1,147 @@
+(* Tests for the Reliable Link Layer: reliable in-order delivery over lossy
+   links, the property the paper requires so the FIE accounts for every
+   packet drop. *)
+
+open Vw_sim
+module Host = Vw_stack.Host
+module Rll = Vw_rll.Rll
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let mac i = Vw_net.Mac.of_int i
+let ip i = Vw_net.Ip_addr.of_host_index i
+
+let pair ?(seed = 42) ?(loss = 0.0) ?rll_config () =
+  let engine = Engine.create ~seed () in
+  let link =
+    Vw_link.Link.create engine
+      { Vw_link.Link.default_config with loss_rate = loss }
+  in
+  let a = Host.create engine ~name:"a" ~mac:(mac 1) ~ip:(ip 1) in
+  let b = Host.create engine ~name:"b" ~mac:(mac 2) ~ip:(ip 2) in
+  Host.attach a (Vw_link.Netif.of_link_endpoint (Vw_link.Link.endpoint_a link));
+  Host.attach b (Vw_link.Netif.of_link_endpoint (Vw_link.Link.endpoint_b link));
+  Host.add_neighbor a (ip 2) (mac 2);
+  Host.add_neighbor b (ip 1) (mac 1);
+  let rll_a = Rll.install ?config:rll_config a in
+  let rll_b = Rll.install ?config:rll_config b in
+  (engine, a, b, rll_a, rll_b)
+
+let send_numbered a n =
+  for i = 1 to n do
+    Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9
+      (Bytes.of_string (string_of_int i))
+  done
+
+let collect_received b received =
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ payload ->
+      received := int_of_string (Bytes.to_string payload) :: !received)
+
+let test_lossless_transparent () =
+  let engine, a, b, rll_a, _ = pair () in
+  let received = ref [] in
+  collect_received b received;
+  send_numbered a 20;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "all, in order"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !received);
+  check Alcotest.int "no retransmissions on clean link" 0
+    (Rll.stats rll_a).Vw_rll.Rll.retransmissions
+
+let test_recovers_all_under_loss () =
+  let engine, a, b, rll_a, _ = pair ~seed:5 ~loss:0.25 () in
+  let received = ref [] in
+  collect_received b received;
+  send_numbered a 200;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "every frame, in order, exactly once"
+    (List.init 200 (fun i -> i + 1))
+    (List.rev !received);
+  check Alcotest.bool "loss actually exercised retransmission" true
+    ((Rll.stats rll_a).Vw_rll.Rll.retransmissions > 0)
+
+let test_acks_flow () =
+  let engine, a, b, rll_a, rll_b = pair () in
+  let received = ref [] in
+  collect_received b received;
+  send_numbered a 5;
+  Engine.run engine;
+  check Alcotest.int "b acked data" 5 (Rll.stats rll_b).Vw_rll.Rll.acks_sent;
+  check Alcotest.int "a fully acked" 0 (Rll.in_flight rll_a)
+
+let test_window_limits_flight () =
+  let config = { Rll.default_config with window = 2 } in
+  let engine, a, b, rll_a, _ = pair ~rll_config:config () in
+  let received = ref [] in
+  collect_received b received;
+  send_numbered a 10;
+  (* before anything is delivered, at most [window] frames are in flight *)
+  check Alcotest.bool "flight bounded" true (Rll.in_flight rll_a <= 2);
+  Engine.run engine;
+  check Alcotest.int "all delivered eventually" 10 (List.length !received)
+
+let test_broadcast_bypasses_rll () =
+  let engine, a, b, rll_a, _ = pair () in
+  let got = ref 0 in
+  Host.set_ethertype_handler b 0x1234 (fun _ -> incr got);
+  Host.send_frame a
+    (Vw_net.Eth.make ~dst:Vw_net.Mac.broadcast ~src:(mac 1) ~ethertype:0x1234
+       (Bytes.create 4));
+  Engine.run engine;
+  check Alcotest.int "broadcast delivered" 1 !got;
+  check Alcotest.int "not encapsulated" 0 (Rll.stats rll_a).Vw_rll.Rll.data_sent
+
+let test_abandons_dead_peer () =
+  let config =
+    { Rll.default_config with max_retries = 3; retransmit_timeout = Simtime.ms 20 }
+  in
+  let engine, a, b, rll_a, _ = pair ~rll_config:config () in
+  Host.fail b;
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 4);
+  Engine.run engine ~until:(Simtime.sec 5.0);
+  check Alcotest.int "frame abandoned" 1 (Rll.stats rll_a).Vw_rll.Rll.abandoned;
+  check Alcotest.int "nothing left in flight" 0 (Rll.in_flight rll_a)
+
+let test_uninstall_restores_transparency () =
+  let engine, a, b, rll_a, rll_b = pair () in
+  Rll.uninstall rll_a;
+  Rll.uninstall rll_b;
+  let received = ref [] in
+  collect_received b received;
+  send_numbered a 3;
+  Engine.run engine;
+  check Alcotest.int "still delivered (plain)" 3 (List.length !received);
+  check Alcotest.int "rll idle" 0 (Rll.stats rll_a).Vw_rll.Rll.data_sent
+
+let prop_rll_reliable_under_random_loss =
+  qtest
+    (QCheck.Test.make ~name:"reliable in-order delivery under random loss"
+       ~count:25
+       QCheck.(pair (int_range 1 60) (int_range 0 35))
+       (fun (n, loss_pct) ->
+         let engine, a, b, _, _ =
+           pair ~seed:(n + (loss_pct * 1000)) ~loss:(float_of_int loss_pct /. 100.) ()
+         in
+         let received = ref [] in
+         collect_received b received;
+         send_numbered a n;
+         Engine.run engine ~until:(Simtime.sec 30.0);
+         List.rev !received = List.init n (fun i -> i + 1)))
+
+let suite =
+  [
+    ( "rll",
+      [
+        Alcotest.test_case "transparent when lossless" `Quick test_lossless_transparent;
+        Alcotest.test_case "recovers all under 25% loss" `Quick
+          test_recovers_all_under_loss;
+        Alcotest.test_case "cumulative acks drain the window" `Quick test_acks_flow;
+        Alcotest.test_case "window bounds flight" `Quick test_window_limits_flight;
+        Alcotest.test_case "broadcast bypasses" `Quick test_broadcast_bypasses_rll;
+        Alcotest.test_case "abandons dead peer" `Quick test_abandons_dead_peer;
+        Alcotest.test_case "uninstall" `Quick test_uninstall_restores_transparency;
+        prop_rll_reliable_under_random_loss;
+      ] );
+  ]

@@ -1,0 +1,265 @@
+(* Tests for the host stack: hooks (the Netfilter analogue), IP/UDP
+   delivery, timers, failure injection. *)
+
+open Vw_sim
+module Host = Vw_stack.Host
+module Hook = Vw_stack.Hook
+
+let check = Alcotest.check
+
+let mac i = Vw_net.Mac.of_int i
+let ip i = Vw_net.Ip_addr.of_host_index i
+
+(* Two hosts joined by a direct link. *)
+let pair ?(link_config = Vw_link.Link.default_config) () =
+  let engine = Engine.create () in
+  let link = Vw_link.Link.create engine link_config in
+  let a = Host.create engine ~name:"a" ~mac:(mac 1) ~ip:(ip 1) in
+  let b = Host.create engine ~name:"b" ~mac:(mac 2) ~ip:(ip 2) in
+  Host.attach a (Vw_link.Netif.of_link_endpoint (Vw_link.Link.endpoint_a link));
+  Host.attach b (Vw_link.Netif.of_link_endpoint (Vw_link.Link.endpoint_b link));
+  Host.add_neighbor a (ip 2) (mac 2);
+  Host.add_neighbor b (ip 1) (mac 1);
+  (engine, a, b)
+
+let test_udp_delivery () =
+  let engine, a, b = pair () in
+  let got = ref None in
+  Host.udp_bind b ~port:9000 (fun ~src ~src_port payload ->
+      got := Some (src, src_port, Bytes.to_string payload));
+  Host.udp_send a ~src_port:5555 ~dst:(ip 2) ~dst_port:9000
+    (Bytes.of_string "hello");
+  Engine.run engine;
+  match !got with
+  | Some (src, src_port, payload) ->
+      check Alcotest.bool "src ip" true (Vw_net.Ip_addr.equal src (ip 1));
+      check Alcotest.int "src port" 5555 src_port;
+      check Alcotest.string "payload" "hello" payload
+  | None -> Alcotest.fail "datagram not delivered"
+
+let test_udp_echo_roundtrip () =
+  let engine, a, b = pair () in
+  Host.udp_bind b ~port:7 (fun ~src ~src_port payload ->
+      Host.udp_send b ~src_port:7 ~dst:src ~dst_port:src_port payload);
+  let echoed = ref false in
+  Host.udp_bind a ~port:1234 (fun ~src:_ ~src_port:_ payload ->
+      if Bytes.to_string payload = "ping" then echoed := true);
+  Host.udp_send a ~src_port:1234 ~dst:(ip 2) ~dst_port:7 (Bytes.of_string "ping");
+  Engine.run engine;
+  check Alcotest.bool "echo came back" true !echoed
+
+let test_udp_bind_conflict () =
+  let _, a, _ = pair () in
+  Host.udp_bind a ~port:80 (fun ~src:_ ~src_port:_ _ -> ());
+  Alcotest.check_raises "double bind"
+    (Invalid_argument "Host.udp_bind: port 80 already bound") (fun () ->
+      Host.udp_bind a ~port:80 (fun ~src:_ ~src_port:_ _ -> ()));
+  Host.udp_unbind a ~port:80;
+  Host.udp_bind a ~port:80 (fun ~src:_ ~src_port:_ _ -> ())
+
+let test_nic_mac_filter () =
+  (* b must ignore frames addressed to someone else *)
+  let engine, a, b = pair () in
+  Host.add_neighbor a (ip 9) (mac 9);
+  let got = ref 0 in
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got);
+  (* addressed to mac 9 but lands on b's NIC (direct link) *)
+  Host.udp_send a ~src_port:1 ~dst:(ip 9) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "filtered by NIC" 0 !got;
+  check Alcotest.int "b received nothing" 0 (Host.frames_received b)
+
+(* --- hooks --- *)
+
+let test_hook_egress_order_and_drop () =
+  let engine, a, b = pair () in
+  let order = ref [] in
+  let log name verdict frame =
+    order := name :: !order;
+    match verdict with `Accept -> Hook.Accept frame | `Drop -> Hook.Drop
+  in
+  ignore (Host.add_hook a Hook.Egress ~priority:200 ~name:"low" (log "low" `Accept));
+  ignore (Host.add_hook a Hook.Egress ~priority:100 ~name:"high" (log "high" `Accept));
+  let got = ref 0 in
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check (Alcotest.list Alcotest.string) "ascending priority on egress"
+    [ "high"; "low" ] (List.rev !order);
+  check Alcotest.int "delivered" 1 !got;
+  (* a dropping hook consumes the packet *)
+  ignore (Host.add_hook a Hook.Egress ~priority:150 ~name:"drop" (log "drop" `Drop));
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "dropped" 1 !got
+
+let test_hook_ingress_order () =
+  let engine, a, b = pair () in
+  let order = ref [] in
+  let log name frame =
+    order := name :: !order;
+    Hook.Accept frame
+  in
+  ignore (Host.add_hook b Hook.Ingress ~priority:100 ~name:"vw" (log "vw"));
+  ignore (Host.add_hook b Hook.Ingress ~priority:200 ~name:"rll" (log "rll"));
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ _ -> ());
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check (Alcotest.list Alcotest.string) "descending priority on ingress"
+    [ "rll"; "vw" ] (List.rev !order)
+
+let test_hook_transform () =
+  let engine, a, b = pair () in
+  (* an egress hook rewriting the payload (what MODIFY does) *)
+  ignore
+    (Host.add_hook a Hook.Egress ~priority:100 ~name:"rewrite"
+       (fun frame ->
+         let data = Vw_net.Eth.to_bytes frame in
+         (* flip a UDP payload byte: offset 42 = 14 eth + 20 ip + 8 udp *)
+         Bytes.set data 42 'X';
+         Hook.Accept (Vw_net.Eth.of_bytes data)));
+  let got = ref "" in
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ payload ->
+      got := Bytes.to_string payload);
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.of_string "abc");
+  Engine.run engine;
+  (* the UDP checksum now fails at b, so nothing is delivered — transforming
+     hooks see real end-to-end consequences *)
+  check Alcotest.string "checksum killed it" "" !got
+
+let test_hook_steal_reinject () =
+  let engine, a, b = pair () in
+  let stolen = ref None in
+  ignore
+    (Host.add_hook a Hook.Egress ~priority:100 ~name:"stealer" (fun frame ->
+         if !stolen = None then begin
+           stolen := Some frame;
+           Hook.Stolen
+         end
+         else Hook.Accept frame));
+  let got = ref 0 in
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "stolen, not delivered" 0 !got;
+  (* reinject below priority 100: must NOT pass the stealer again *)
+  (match !stolen with
+  | Some frame -> Host.reinject a Hook.Egress ~from_priority:100 frame
+  | None -> Alcotest.fail "hook never ran");
+  Engine.run engine;
+  check Alcotest.int "reinjected frame delivered" 1 !got
+
+let test_remove_hook () =
+  let engine, a, b = pair () in
+  let id = Host.add_hook a Hook.Egress ~priority:100 ~name:"drop" (fun _ -> Hook.Drop) in
+  let got = ref 0 in
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "dropped while installed" 0 !got;
+  Host.remove_hook a id;
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "delivered after removal" 1 !got
+
+(* --- timers --- *)
+
+let test_timer_jiffy_quantization () =
+  let engine, a, _ = pair () in
+  let fired_at = ref (-1) in
+  ignore
+    (Host.set_timer a ~delay:(Simtime.ms 13) (fun () ->
+         fired_at := Engine.now engine));
+  Engine.run engine;
+  check Alcotest.int "rounded up to jiffy grid" (Simtime.ms 20) !fired_at
+
+let test_timer_fine () =
+  let engine, a, _ = pair () in
+  let fired_at = ref (-1) in
+  ignore
+    (Host.set_timer a ~granularity:`Fine ~delay:(Simtime.ms 13) (fun () ->
+         fired_at := Engine.now engine));
+  Engine.run engine;
+  check Alcotest.int "exact" (Simtime.ms 13) !fired_at
+
+let test_timer_cancel () =
+  let engine, a, _ = pair () in
+  let fired = ref false in
+  let timer = Host.set_timer a ~delay:(Simtime.ms 10) (fun () -> fired := true) in
+  Host.cancel_timer a timer;
+  Engine.run engine;
+  check Alcotest.bool "cancelled" false !fired
+
+(* --- failure --- *)
+
+let test_fail_silences_node () =
+  let engine, a, b = pair () in
+  let got = ref 0 in
+  Host.udp_bind b ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Host.fail a;
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "failed node sends nothing" 0 !got;
+  (* and receives nothing *)
+  let got_a = ref 0 in
+  Host.udp_bind a ~port:9 (fun ~src:_ ~src_port:_ _ -> incr got_a);
+  Host.fail a;
+  Host.udp_send b ~src_port:1 ~dst:(ip 1) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "failed node hears nothing" 0 !got_a;
+  (* revive restores *)
+  Host.revive a;
+  Host.udp_send b ~src_port:1 ~dst:(ip 1) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check Alcotest.int "revived node hears" 1 !got_a
+
+let test_fail_inhibits_timers () =
+  let engine, a, _ = pair () in
+  let fired = ref false in
+  ignore (Host.set_timer a ~delay:(Simtime.ms 10) (fun () -> fired := true));
+  Host.fail a;
+  Engine.run engine;
+  check Alcotest.bool "timer inhibited on failed node" false !fired
+
+let test_tap_sees_both_directions () =
+  let engine, a, b = pair () in
+  let taps = ref [] in
+  Host.set_tap a (fun ~dir _ -> taps := dir :: !taps);
+  Host.udp_bind b ~port:9 (fun ~src ~src_port payload ->
+      Host.udp_send b ~src_port:9 ~dst:src ~dst_port:src_port payload);
+  Host.udp_bind a ~port:1 (fun ~src:_ ~src_port:_ _ -> ());
+  Host.udp_send a ~src_port:1 ~dst:(ip 2) ~dst_port:9 (Bytes.create 1);
+  Engine.run engine;
+  check (Alcotest.list Alcotest.bool) "out then in" [ true; false ]
+    (List.rev_map (fun d -> d = `Out) !taps)
+
+let suite =
+  [
+    ( "stack.udp",
+      [
+        Alcotest.test_case "delivery" `Quick test_udp_delivery;
+        Alcotest.test_case "echo roundtrip" `Quick test_udp_echo_roundtrip;
+        Alcotest.test_case "bind conflict" `Quick test_udp_bind_conflict;
+        Alcotest.test_case "NIC MAC filter" `Quick test_nic_mac_filter;
+      ] );
+    ( "stack.hooks",
+      [
+        Alcotest.test_case "egress order + drop" `Quick test_hook_egress_order_and_drop;
+        Alcotest.test_case "ingress order" `Quick test_hook_ingress_order;
+        Alcotest.test_case "transforming hook" `Quick test_hook_transform;
+        Alcotest.test_case "steal and reinject" `Quick test_hook_steal_reinject;
+        Alcotest.test_case "remove hook" `Quick test_remove_hook;
+      ] );
+    ( "stack.timers",
+      [
+        Alcotest.test_case "jiffy quantization" `Quick test_timer_jiffy_quantization;
+        Alcotest.test_case "fine granularity" `Quick test_timer_fine;
+        Alcotest.test_case "cancel" `Quick test_timer_cancel;
+      ] );
+    ( "stack.failure",
+      [
+        Alcotest.test_case "fail silences node" `Quick test_fail_silences_node;
+        Alcotest.test_case "fail inhibits timers" `Quick test_fail_inhibits_timers;
+        Alcotest.test_case "tap" `Quick test_tap_sees_both_directions;
+      ] );
+  ]

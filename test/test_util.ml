@@ -1,0 +1,207 @@
+(* Unit and property tests for vw_util: hex codecs, the Internet checksum,
+   the deterministic PRNG and the statistics accumulator. *)
+
+open Vw_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Hexutil --- *)
+
+let test_of_hex_basic () =
+  check Alcotest.string "plain" "deadbeef" (Hexutil.to_hex (Hexutil.of_hex "deadbeef"));
+  check Alcotest.string "0x prefix" "6000" (Hexutil.to_hex (Hexutil.of_hex "0x6000"));
+  check Alcotest.string "odd digits left-pad" "01" (Hexutil.to_hex (Hexutil.of_hex "0x1"));
+  check Alcotest.string "bare 0010" "0010" (Hexutil.to_hex (Hexutil.of_hex "0010"));
+  check Alcotest.string "uppercase" "ab" (Hexutil.to_hex (Hexutil.of_hex "AB"))
+
+let test_of_hex_bad () =
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hexutil.of_hex: bad hex digit 'g'")
+    (fun () -> ignore (Hexutil.of_hex "0xg1"))
+
+let test_int_be_roundtrip () =
+  let b = Bytes.create 8 in
+  Hexutil.set_int_be b ~pos:2 ~len:4 0xdeadbe;
+  check Alcotest.int "read back" 0xdeadbe (Hexutil.to_int_be b ~pos:2 ~len:4);
+  Hexutil.set_int_be b ~pos:0 ~len:2 0xffff;
+  check Alcotest.int "16-bit" 0xffff (Hexutil.to_int_be b ~pos:0 ~len:2)
+
+let test_int_be_bounds () =
+  let b = Bytes.create 4 in
+  Alcotest.check_raises "overrun" (Invalid_argument "Hexutil.to_int_be: out of range")
+    (fun () -> ignore (Hexutil.to_int_be b ~pos:2 ~len:4))
+
+let test_of_hex_value () =
+  check Alcotest.string "width 2" "0050" (Hexutil.to_hex (Hexutil.of_hex_value ~width:2 0x50));
+  Alcotest.check_raises "does not fit"
+    (Invalid_argument "Hexutil.of_hex_value: 256 does not fit in 1 bytes")
+    (fun () -> ignore (Hexutil.of_hex_value ~width:1 256))
+
+let test_masked_equal () =
+  let b = Hexutil.of_hex "00112233" in
+  check Alcotest.bool "exact" true
+    (Hexutil.masked_equal b ~pos:1 ~pattern:(Hexutil.of_hex "1122") ~mask:None);
+  check Alcotest.bool "mask low nibble" true
+    (Hexutil.masked_equal b ~pos:1 ~pattern:(Hexutil.of_hex "1f")
+       ~mask:(Some (Hexutil.of_hex "f0")));
+  check Alcotest.bool "mismatch" false
+    (Hexutil.masked_equal b ~pos:0 ~pattern:(Hexutil.of_hex "01") ~mask:None);
+  check Alcotest.bool "window out of range" false
+    (Hexutil.masked_equal b ~pos:3 ~pattern:(Hexutil.of_hex "3344") ~mask:None)
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:500
+    QCheck.(string_of_size (Gen.int_range 0 64) |> map Bytes.of_string)
+    (fun b -> Bytes.equal b (Hexutil.of_hex (Hexutil.to_hex b)))
+
+(* --- Checksum --- *)
+
+let test_checksum_known () =
+  (* RFC 1071 worked example: 0001 f203 f4f5 f6f7 -> checksum 0x220d *)
+  let b = Hexutil.of_hex "0001f203f4f5f6f7" in
+  check Alcotest.int "rfc1071 example" 0x220d
+    (Checksum.checksum b ~pos:0 ~len:8)
+
+let test_checksum_validates () =
+  let b = Hexutil.of_hex "0001f203f4f5f6f7" in
+  let full = Bytes.cat b (Hexutil.of_hex_value ~width:2 0x220d) in
+  check Alcotest.bool "self-validating" true
+    (Checksum.is_valid full ~pos:0 ~len:(Bytes.length full))
+
+let test_checksum_odd_length () =
+  let b = Hexutil.of_hex "ff" in
+  check Alcotest.int "odd tail padded" (lnot 0xff00 land 0xffff)
+    (Checksum.checksum b ~pos:0 ~len:1)
+
+let prop_checksum_detects_single_flip =
+  (* Flipping any single byte in a self-checksummed buffer breaks it. *)
+  QCheck.Test.make ~name:"checksum detects single byte flips" ~count:300
+    QCheck.(
+      pair (string_of_size (Gen.int_range 2 40)) (pair small_nat small_nat))
+    (fun (s, (pos_seed, flip_seed)) ->
+      let data = Bytes.of_string s in
+      let csum = Checksum.checksum data ~pos:0 ~len:(Bytes.length data) in
+      let full = Bytes.cat data (Hexutil.of_hex_value ~width:2 csum) in
+      let pos = pos_seed mod Bytes.length data in
+      let flip = 1 + (flip_seed mod 255) in
+      Bytes.set full pos
+        (Char.chr (Char.code (Bytes.get full pos) lxor flip));
+      not (Checksum.is_valid full ~pos:0 ~len:(Bytes.length full)))
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  check Alcotest.bool "different streams" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:3 in
+  let child = Prng.split parent in
+  let c1 = Prng.bits64 child in
+  (* Re-create: same parent seed, same split point gives the same child. *)
+  let parent' = Prng.create ~seed:3 in
+  let child' = Prng.split parent' in
+  check Alcotest.int64 "split deterministic" c1 (Prng.bits64 child')
+
+let test_prng_int_range () =
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let test_prng_bool_bias () =
+  let g = Prng.create ~seed:13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool g 0.25 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  if ratio < 0.22 || ratio > 0.28 then
+    Alcotest.failf "bool(0.25) ratio was %f" ratio
+
+let test_prng_float_range () =
+  let g = Prng.create ~seed:17 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "stddev" (sqrt 2.5) (Stats.stddev s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 5.0 (Stats.max_value s);
+  check (Alcotest.float 1e-9) "p50" 3.0 (Stats.percentile s 50.);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Stats.percentile s 100.);
+  check Alcotest.int "count" 5 (Stats.count s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check Alcotest.bool "mean nan" true (Float.is_nan (Stats.mean s));
+  check Alcotest.bool "percentile nan" true (Float.is_nan (Stats.percentile s 50.))
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.; 2. ];
+  List.iter (Stats.add b) [ 3.; 4. ];
+  let m = Stats.merge a b in
+  check Alcotest.int "merged count" 4 (Stats.count m);
+  check (Alcotest.float 1e-9) "merged mean" 2.5 (Stats.mean m)
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min_value s -. 1e-9
+      && Stats.mean s <= Stats.max_value s +. 1e-9)
+
+let suite =
+  [
+    ( "util.hex",
+      [
+        Alcotest.test_case "of_hex basics" `Quick test_of_hex_basic;
+        Alcotest.test_case "of_hex rejects junk" `Quick test_of_hex_bad;
+        Alcotest.test_case "int_be roundtrip" `Quick test_int_be_roundtrip;
+        Alcotest.test_case "int_be bounds" `Quick test_int_be_bounds;
+        Alcotest.test_case "of_hex_value" `Quick test_of_hex_value;
+        Alcotest.test_case "masked_equal" `Quick test_masked_equal;
+        qtest prop_hex_roundtrip;
+      ] );
+    ( "util.checksum",
+      [
+        Alcotest.test_case "known value" `Quick test_checksum_known;
+        Alcotest.test_case "self-validates" `Quick test_checksum_validates;
+        Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+        qtest prop_checksum_detects_single_flip;
+      ] );
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+        Alcotest.test_case "split deterministic" `Quick test_prng_split_independent;
+        Alcotest.test_case "int range" `Quick test_prng_int_range;
+        Alcotest.test_case "bool bias" `Quick test_prng_bool_bias;
+        Alcotest.test_case "float range" `Quick test_prng_float_range;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic moments" `Quick test_stats_basic;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+        qtest prop_stats_mean_bounded;
+      ] );
+  ]
