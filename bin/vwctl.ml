@@ -216,7 +216,17 @@ let run_cmd =
       & info [ "c"; "counters" ]
           ~doc:"Dump every node's FAE counters after the run.")
   in
-  let run script_path workload bytes duration rll trace_n verbose counters =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Dump every node's engine statistics after the run: packets \
+             inspected/matched, filter candidates scanned, classification \
+             index hits/misses, faults injected.")
+  in
+  let run script_path workload bytes duration rll trace_n verbose counters
+      show_stats =
     setup_logs verbose;
     match load_script script_path with
     | Error e ->
@@ -265,6 +275,27 @@ let run_cmd =
                                 (if enabled then "" else "  (disabled)"))
                             cs)
                     (Testbed.nodes testbed);
+                if show_stats then
+                  List.iter
+                    (fun node ->
+                      let s = Vw_engine.Fie.stats (Testbed.fie node) in
+                      Printf.printf "engine stats at %s:\n" (Testbed.name node);
+                      Printf.printf
+                        "  packets: %d inspected, %d matched; filters \
+                         scanned: %d; index: %d hits, %d misses\n"
+                        s.Vw_engine.Fie.packets_inspected
+                        s.Vw_engine.Fie.packets_matched
+                        s.Vw_engine.Fie.filters_scanned
+                        s.Vw_engine.Fie.index_hits
+                        s.Vw_engine.Fie.index_misses;
+                      Printf.printf
+                        "  faults: %d drop, %d delay, %d reorder, %d dup, %d \
+                         modify; actions: %d\n"
+                        s.Vw_engine.Fie.faults_drop s.Vw_engine.Fie.faults_delay
+                        s.Vw_engine.Fie.faults_reorder s.Vw_engine.Fie.faults_dup
+                        s.Vw_engine.Fie.faults_modify
+                        s.Vw_engine.Fie.actions_executed)
+                    (Testbed.nodes testbed);
                 if trace_n > 0 then begin
                   let entries = Trace.entries (Testbed.trace testbed) in
                   let total = List.length entries in
@@ -285,7 +316,7 @@ let run_cmd =
           deploy over the control plane and run the scenario.")
     Term.(
       const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
-      $ rll_arg $ trace_arg $ verbose_arg $ counters_arg)
+      $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg)
 
 (* --- suite --- *)
 

@@ -1,4 +1,4 @@
-(** The packet classifier: match raw frame bytes against the filter table.
+(** The packet classifier: match frames against the filter table.
 
     Filters are tried in declaration order and the first match wins, as in
     the paper ("The priority of the filter rules is in descending order of
@@ -6,9 +6,13 @@
     match the subsequent rules."). A tuple with an unbound variable never
     matches; a bound variable behaves as a literal pattern (see DESIGN.md).
 
-    The linear scan is intentional — Figure 8 measures exactly this cost
-    ("the current VirtualWire implementation searches linearly through the
-    packet type definitions"). *)
+    The paper's implementation "searches linearly through the packet type
+    definitions" — the cost Figure 8 measures. {!classify_linear} keeps
+    that scan as the executable reference; {!classify} and
+    {!classify_frame} dispatch through the precompiled
+    {!Vw_fsl.Tables.classification_index} instead, scanning only the
+    filters that could possibly match. The two are semantically identical
+    (property-tested in [test_engine.ml]). *)
 
 val tuple_matches :
   Vw_fsl.Tables.tuple -> bindings:bytes option array -> bytes -> bool
@@ -16,6 +20,47 @@ val tuple_matches :
 val filter_matches :
   Vw_fsl.Tables.filter_entry -> bindings:bytes option array -> bytes -> bool
 
-val classify :
+val tuple_matches_frame :
+  Vw_fsl.Tables.tuple -> bindings:bytes option array -> Vw_net.Eth.t -> bool
+(** Zero-copy variant: offsets address the serialized layout but are read
+    through {!Vw_net.Eth.masked_field_equal}. *)
+
+val filter_matches_frame :
+  Vw_fsl.Tables.filter_entry ->
+  bindings:bytes option array ->
+  Vw_net.Eth.t ->
+  bool
+
+val classify_linear :
   Vw_fsl.Tables.t -> bindings:bytes option array -> bytes -> int option
-(** [classify tables ~bindings frame_bytes] is the first matching filter id. *)
+(** The naive full scan — the reference the indexed paths must agree with,
+    and the baseline the bench compares against. *)
+
+type scan_stats = {
+  mutable filters_scanned : int;  (** candidate filters actually tested *)
+  mutable index_hits : int;  (** packets whose field value had a bucket *)
+  mutable index_misses : int;
+      (** packets outside every bucket (fallback-only scan) *)
+}
+(** Cumulative classification counters; pass one record across calls and
+    read deltas for per-packet costs. *)
+
+val new_scan_stats : unit -> scan_stats
+
+val classify :
+  ?stats:scan_stats ->
+  Vw_fsl.Tables.t ->
+  bindings:bytes option array ->
+  bytes ->
+  int option
+(** [classify tables ~bindings frame_bytes] is the first matching filter
+    id, dispatching through the classification index. *)
+
+val classify_frame :
+  ?stats:scan_stats ->
+  Vw_fsl.Tables.t ->
+  bindings:bytes option array ->
+  Vw_net.Eth.t ->
+  int option
+(** Indexed {e and} zero-copy: classifies an [Eth.t] without serializing
+    it. This is the engine's per-packet entry point. *)

@@ -11,6 +11,9 @@ type report =
 type stats = {
   mutable packets_inspected : int;
   mutable packets_matched : int;
+  mutable filters_scanned : int;
+  mutable index_hits : int;
+  mutable index_misses : int;
   mutable counter_updates : int;
   mutable terms_evaluated : int;
   mutable conditions_evaluated : int;
@@ -29,6 +32,9 @@ let new_stats () =
   {
     packets_inspected = 0;
     packets_matched = 0;
+    filters_scanned = 0;
+    index_hits = 0;
+    index_misses = 0;
     counter_updates = 0;
     terms_evaluated = 0;
     conditions_evaluated = 0;
@@ -44,11 +50,14 @@ let new_stats () =
   }
 
 (* A fault action of this node, precomputed at init for the per-packet
-   check. *)
+   check. [af_src]/[af_dst] are the MACs a matching frame must carry
+   (resolved once from the node table); the fid/direction checks are
+   static and encoded by the (point, fid) bucket the fault lives in. *)
 type armed_fault = {
   af_did : int; (* owning condition *)
   af_aid : int;
-  af_spec : Tables.fspec;
+  af_src : Vw_net.Mac.t;
+  af_dst : Vw_net.Mac.t;
   af_kind :
     [ `Drop
     | `Delay of Vw_sim.Simtime.t
@@ -56,6 +65,10 @@ type armed_fault = {
     | `Dup
     | `Modify of (int * bytes) option ];
 }
+
+(* An event counter this node observes at one hook point, precomputed per
+   (point, fid) so the per-packet path touches only candidates. *)
+type observer = { ob_cid : int; ob_src : Vw_net.Mac.t; ob_dst : Vw_net.Mac.t }
 
 type runtime = {
   tables : Tables.t;
@@ -66,11 +79,21 @@ type runtime = {
   term_status : bool array;
   cond_status : bool array;
   bindings : bytes option array;
-  my_faults : armed_fault list; (* in action-id order *)
+  observing_counters : observer array array array;
+      (* [point].[fid] -> counters this node may bump for that match *)
+  faults_by_fid : armed_fault array array array;
+      (* [point].[fid] -> armed faults in action-id order *)
   reorder_buffers : (int, Vw_net.Eth.t Queue.t) Hashtbl.t;
+  (* reusable cascade worklists, sized to the table dimensions *)
+  ws_counters : Vw_util.Worklist.t;
+  ws_counters_next : Vw_util.Worklist.t;
+  ws_terms : Vw_util.Worklist.t;
+  ws_conds : Vw_util.Worklist.t;
   mutable started : bool;
   mutable last_match : Vw_sim.Simtime.t option;
 }
+
+let pindex = function Vw_stack.Hook.Ingress -> 0 | Vw_stack.Hook.Egress -> 1
 
 type cost_model = {
   cost_base : Vw_sim.Simtime.t;
@@ -81,6 +104,7 @@ type cost_model = {
 type t = {
   hst : Vw_stack.Host.t;
   stats : stats;
+  cls : Classifier.scan_stats; (* cumulative classifier counters *)
   mutable rt : runtime option;
   mutable report_handler : report -> unit;
   mutable egress_hook : Vw_stack.Host.hook_id option;
@@ -89,7 +113,13 @@ type t = {
 }
 
 let host t = t.hst
-let stats t = t.stats
+
+let stats t =
+  (* mirror the classifier's cumulative counters at read time *)
+  t.stats.filters_scanned <- t.cls.Classifier.filters_scanned;
+  t.stats.index_hits <- t.cls.Classifier.index_hits;
+  t.stats.index_misses <- t.cls.Classifier.index_misses;
+  t.stats
 let initialized t = t.rt <> None
 let started t = match t.rt with Some rt -> rt.started | None -> false
 let my_nid t = Option.map (fun rt -> rt.nid) t.rt
@@ -190,7 +220,7 @@ and execute_action t rt (entry : Tables.action_entry) ~changed =
     if rt.counter_values.(cid) <> v then begin
       rt.counter_values.(cid) <- v;
       t.stats.counter_updates <- t.stats.counter_updates + 1;
-      if not (List.mem cid !changed) then changed := cid :: !changed
+      ignore (Vw_util.Worklist.add changed cid)
     end
   in
   match entry.act with
@@ -233,9 +263,16 @@ and execute_action t rt (entry : Tables.action_entry) ~changed =
    the next round. *)
 
 and cascade t rt ~changed_counters ~changed_terms =
+  let module W = Vw_util.Worklist in
   let max_rounds = 100 in
   let round = ref 0 in
-  let counters = ref changed_counters in
+  (* double-buffered counter worklists: [cur] feeds this round, actions
+     fired this round fill [next]; both are owned by the runtime and only
+     reset here, so a cascade allocates nothing per round *)
+  let cur = ref rt.ws_counters in
+  let next = ref rt.ws_counters_next in
+  W.clear !cur;
+  List.iter (fun cid -> ignore (W.add !cur cid)) changed_counters;
   let ext_terms = ref changed_terms in
   let continue = ref true in
   while !continue do
@@ -249,7 +286,7 @@ and cascade t rt ~changed_counters ~changed_terms =
     end
     else begin
       (* 1. ship counter updates to remote term evaluators *)
-      List.iter
+      W.iter
         (fun cid ->
           let c = rt.tables.Tables.counters.(cid) in
           if c.Tables.owner = rt.nid then
@@ -259,69 +296,72 @@ and cascade t rt ~changed_counters ~changed_terms =
                   (Control.Counter_update
                      { cid; value = rt.counter_values.(cid) }))
               c.Tables.value_subscribers)
-        !counters;
+        !cur;
       (* 2. re-evaluate local terms over the changed counters *)
-      let affected_tids =
-        List.sort_uniq compare
-          (List.concat_map
-             (fun cid ->
-               rt.tables.Tables.counters.(cid).Tables.affected_terms)
-             !counters)
-        |> List.filter (fun tid ->
-               rt.tables.Tables.terms.(tid).Tables.eval_node = rt.nid)
-      in
-      let flipped_tids =
-        List.filter
-          (fun tid ->
-            let term = rt.tables.Tables.terms.(tid) in
-            t.stats.terms_evaluated <- t.stats.terms_evaluated + 1;
-            let status = eval_term rt term in
-            if status <> rt.term_status.(tid) then begin
-              rt.term_status.(tid) <- status;
-              List.iter
-                (fun nid ->
-                  send_control t ~dst_nid:nid
-                    (Control.Term_status { tid; status }))
-                term.Tables.status_subscribers;
-              true
-            end
-            else false)
-          affected_tids
-      in
-      let flipped_tids = List.sort_uniq compare (flipped_tids @ !ext_terms) in
-      ext_terms := [];
-      (* 3. snapshot-evaluate affected conditions, collect rising edges *)
-      let affected_dids =
-        List.sort_uniq compare
-          (List.concat_map
-             (fun tid -> rt.tables.Tables.terms.(tid).Tables.in_conditions)
-             flipped_tids)
-        |> List.filter (fun did ->
-               List.mem rt.nid rt.tables.Tables.conds.(did).Tables.eval_nodes)
-      in
-      let risen =
-        List.filter
+      W.clear rt.ws_terms;
+      W.iter
+        (fun cid ->
+          List.iter
+            (fun tid ->
+              if rt.tables.Tables.terms.(tid).Tables.eval_node = rt.nid then
+                ignore (W.add rt.ws_terms tid))
+            rt.tables.Tables.counters.(cid).Tables.affected_terms)
+        !cur;
+      W.sort rt.ws_terms;
+      (* terms that flipped (locally or pushed from a remote evaluator)
+         feed the conditions they participate in *)
+      W.clear rt.ws_conds;
+      let add_conditions tid =
+        List.iter
           (fun did ->
-            let cond = rt.tables.Tables.conds.(did) in
-            t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
-            let status = eval_expr rt cond.Tables.expr in
-            let rose = status && not rt.cond_status.(did) in
-            rt.cond_status.(did) <- status;
-            rose)
-          affected_dids
+            if List.mem rt.nid rt.tables.Tables.conds.(did).Tables.eval_nodes
+            then ignore (W.add rt.ws_conds did))
+          rt.tables.Tables.terms.(tid).Tables.in_conditions
       in
-      (* 4. fire the risen conditions' local actions *)
-      let changed = ref [] in
+      W.iter
+        (fun tid ->
+          let term = rt.tables.Tables.terms.(tid) in
+          t.stats.terms_evaluated <- t.stats.terms_evaluated + 1;
+          let status = eval_term rt term in
+          if status <> rt.term_status.(tid) then begin
+            rt.term_status.(tid) <- status;
+            List.iter
+              (fun nid ->
+                send_control t ~dst_nid:nid
+                  (Control.Term_status { tid; status }))
+              term.Tables.status_subscribers;
+            add_conditions tid
+          end)
+        rt.ws_terms;
+      List.iter add_conditions !ext_terms;
+      ext_terms := [];
+      W.sort rt.ws_conds;
+      (* 3. snapshot-evaluate affected conditions, collect rising edges *)
+      let risen = ref [] in
+      W.iter
+        (fun did ->
+          let cond = rt.tables.Tables.conds.(did) in
+          t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
+          let status = eval_expr rt cond.Tables.expr in
+          if status && not rt.cond_status.(did) then risen := did :: !risen;
+          rt.cond_status.(did) <- status)
+        rt.ws_conds;
+      (* 4. fire the risen conditions' local actions, in ascending did
+         order (the worklist was sorted; [risen] was built by prepending) *)
+      W.clear !next;
       List.iter
         (fun did ->
           List.iter
             (fun (nid, aid) ->
               if nid = rt.nid then
-                execute_action t rt rt.tables.Tables.actions.(aid) ~changed)
+                execute_action t rt rt.tables.Tables.actions.(aid)
+                  ~changed:!next)
             rt.tables.Tables.conds.(did).Tables.cond_actions)
-        risen;
-      counters := List.rev !changed;
-      if !counters = [] then continue := false
+        (List.rev !risen);
+      let tmp = !cur in
+      cur := !next;
+      next := tmp;
+      if W.is_empty !cur then continue := false
     end
   done
 
@@ -372,7 +412,29 @@ and init_local t ~controller_nid tables =
   | None -> Error "host MAC not in the node table"
   | Some node ->
       let nid = node.Tables.nid in
-      let my_faults =
+      let nodes = tables.Tables.nodes in
+      let n_nodes = Array.length nodes in
+      let n_filters = Array.length tables.Tables.filters in
+      (* The compiler rejects malformed REORDER permutations, but tables
+         also arrive over the wire; re-validate here so a corrupt
+         permutation degrades to the identity instead of crashing the
+         release path. *)
+      let normalize_reorder ~aid n order =
+        let ok =
+          n >= 1
+          && Array.length order = n
+          && List.sort compare (Array.to_list order)
+             = List.init n (fun i -> i + 1)
+        in
+        if ok then order
+        else begin
+          Log.warn (fun m ->
+              m "%s: action %d: invalid REORDER permutation, using identity"
+                (Vw_stack.Host.name t.hst) aid);
+          Array.init (max n 0) (fun i -> i + 1)
+        end
+      in
+      let armed =
         Array.to_list tables.Tables.conds
         |> List.concat_map (fun (cond : Tables.cond_entry) ->
                List.filter_map
@@ -385,7 +447,7 @@ and init_local t ~controller_nid tables =
                        | Tables.A_drop _ -> Some `Drop
                        | Tables.A_delay (_, d) -> Some (`Delay d)
                        | Tables.A_reorder (_, n, order) ->
-                           Some (`Reorder (n, order))
+                           Some (`Reorder (n, normalize_reorder ~aid n order))
                        | Tables.A_dup _ -> Some `Dup
                        | Tables.A_modify (_, pat) -> Some (`Modify pat)
                        | Tables.A_assign _ | Tables.A_enable _
@@ -407,26 +469,97 @@ and init_local t ~controller_nid tables =
                        | _ -> None
                      in
                      match (kind, spec) with
-                     | Some af_kind, Some af_spec ->
+                     | Some af_kind, Some (spec : Tables.fspec)
+                       when spec.Tables.fs_from >= 0
+                            && spec.Tables.fs_from < n_nodes
+                            && spec.Tables.fs_to >= 0
+                            && spec.Tables.fs_to < n_nodes ->
                          Some
-                           { af_did = cond.Tables.did; af_aid = aid; af_spec; af_kind }
+                           ( spec,
+                             {
+                               af_did = cond.Tables.did;
+                               af_aid = aid;
+                               af_src = nodes.(spec.Tables.fs_from).Tables.nmac;
+                               af_dst = nodes.(spec.Tables.fs_to).Tables.nmac;
+                               af_kind;
+                             } )
                      | _ -> None)
                  cond.Tables.cond_actions)
-        |> List.sort (fun a b -> compare a.af_aid b.af_aid)
+        |> List.sort (fun (_, a) (_, b) -> compare a.af_aid b.af_aid)
       in
+      (* Bucket armed faults by (hook point, fid): a Send fault can only
+         fire at this node's egress (and only if we are the sender), a Recv
+         fault at our ingress. The per-packet path then walks just the
+         candidates for the matched filter, in action-id order. *)
+      let fault_acc = [| Array.make n_filters []; Array.make n_filters [] |] in
+      List.iter
+        (fun ((spec : Tables.fspec), af) ->
+          let p =
+            match spec.Tables.fs_dir with
+            | Ast.Send when spec.Tables.fs_from = nid -> Some 1 (* Egress *)
+            | Ast.Recv when spec.Tables.fs_to = nid -> Some 0 (* Ingress *)
+            | Ast.Send | Ast.Recv -> None
+          in
+          match p with
+          | Some p when spec.Tables.fs_fid >= 0 && spec.Tables.fs_fid < n_filters
+            ->
+              fault_acc.(p).(spec.Tables.fs_fid) <-
+                af :: fault_acc.(p).(spec.Tables.fs_fid)
+          | _ -> ())
+        armed;
+      let faults_by_fid =
+        Array.map (Array.map (fun l -> Array.of_list (List.rev l))) fault_acc
+      in
+      (* Same bucketing for the event counters this node observes, with the
+         expected endpoint MACs resolved once. *)
+      let obs_acc = [| Array.make n_filters []; Array.make n_filters [] |] in
+      Array.iter
+        (fun (c : Tables.counter_entry) ->
+          match c.Tables.ckind with
+          | Tables.Local -> ()
+          | Tables.Event { e_fid; e_from; e_to; e_dir } ->
+              if
+                e_fid >= 0 && e_fid < n_filters && e_from >= 0
+                && e_from < n_nodes && e_to >= 0 && e_to < n_nodes
+              then begin
+                let ob =
+                  {
+                    ob_cid = c.Tables.cid;
+                    ob_src = nodes.(e_from).Tables.nmac;
+                    ob_dst = nodes.(e_to).Tables.nmac;
+                  }
+                in
+                match e_dir with
+                | Ast.Send when e_from = nid ->
+                    obs_acc.(1).(e_fid) <- ob :: obs_acc.(1).(e_fid)
+                | Ast.Recv when e_to = nid ->
+                    obs_acc.(0).(e_fid) <- ob :: obs_acc.(0).(e_fid)
+                | Ast.Send | Ast.Recv -> ()
+              end)
+        tables.Tables.counters;
+      let observing_counters =
+        Array.map (Array.map (fun l -> Array.of_list (List.rev l))) obs_acc
+      in
+      let n_counters = Array.length tables.Tables.counters in
       let rt =
         {
           tables;
           controller_nid;
           nid;
-          counter_values = Array.make (Array.length tables.Tables.counters) 0;
-          counter_enabled =
-            Array.make (Array.length tables.Tables.counters) false;
+          counter_values = Array.make n_counters 0;
+          counter_enabled = Array.make n_counters false;
           term_status = Array.make (Array.length tables.Tables.terms) false;
           cond_status = Array.make (Array.length tables.Tables.conds) false;
           bindings = Array.make (Array.length tables.Tables.vars) None;
-          my_faults;
+          observing_counters;
+          faults_by_fid;
           reorder_buffers = Hashtbl.create 4;
+          ws_counters = Vw_util.Worklist.create n_counters;
+          ws_counters_next = Vw_util.Worklist.create n_counters;
+          ws_terms =
+            Vw_util.Worklist.create (Array.length tables.Tables.terms);
+          ws_conds =
+            Vw_util.Worklist.create (Array.length tables.Tables.conds);
           started = false;
           last_match = None;
         }
@@ -451,7 +584,9 @@ and start_local t =
       rt.started <- true;
       (* Fire the conditions that are true at scenario start (the TRUE
          rules, and any degenerate always-true conditions). *)
-      let changed = ref [] in
+      let changed =
+        Vw_util.Worklist.create (Array.length rt.counter_values)
+      in
       Array.iter
         (fun (cond : Tables.cond_entry) ->
           if
@@ -464,36 +599,11 @@ and start_local t =
                   execute_action t rt rt.tables.Tables.actions.(aid) ~changed)
               cond.Tables.cond_actions)
         rt.tables.Tables.conds;
-      cascade t rt ~changed_counters:(List.rev !changed) ~changed_terms:[]
+      cascade t rt
+        ~changed_counters:(Vw_util.Worklist.to_list changed)
+        ~changed_terms:[]
 
 (* --- the per-packet path --- *)
-
-let counter_observes rt (c : Tables.counter_entry) ~fid ~src ~dst ~point =
-  match c.Tables.ckind with
-  | Tables.Local -> false
-  | Tables.Event { e_fid; e_from; e_to; e_dir } ->
-      e_fid = fid
-      && (match (e_dir, point) with
-         | Ast.Send, Vw_stack.Hook.Egress -> e_from = rt.nid
-         | Ast.Recv, Vw_stack.Hook.Ingress -> e_to = rt.nid
-         | (Ast.Send | Ast.Recv), (Vw_stack.Hook.Egress | Vw_stack.Hook.Ingress)
-           ->
-             false)
-      && Vw_net.Mac.equal src rt.tables.Tables.nodes.(e_from).Tables.nmac
-      && Vw_net.Mac.equal dst rt.tables.Tables.nodes.(e_to).Tables.nmac
-
-let fault_applies rt (af : armed_fault) ~fid ~src ~dst ~point =
-  rt.cond_status.(af.af_did)
-  && af.af_spec.Tables.fs_fid = fid
-  && (match (af.af_spec.Tables.fs_dir, point) with
-     | Ast.Send, Vw_stack.Hook.Egress -> af.af_spec.Tables.fs_from = rt.nid
-     | Ast.Recv, Vw_stack.Hook.Ingress -> af.af_spec.Tables.fs_to = rt.nid
-     | (Ast.Send | Ast.Recv), (Vw_stack.Hook.Egress | Vw_stack.Hook.Ingress) ->
-         false)
-  && Vw_net.Mac.equal src
-       rt.tables.Tables.nodes.(af.af_spec.Tables.fs_from).Tables.nmac
-  && Vw_net.Mac.equal dst
-       rt.tables.Tables.nodes.(af.af_spec.Tables.fs_to).Tables.nmac
 
 let reinject t point frame =
   Vw_stack.Host.reinject t.hst point
@@ -524,8 +634,16 @@ let apply_fault t rt point (frame : Vw_net.Eth.t) (af : armed_fault) =
       if Queue.length buffer >= n then begin
         let frames = Array.of_seq (Queue.to_seq buffer) in
         Queue.clear buffer;
-        (* release in the user's permutation, as one burst *)
-        Array.iter (fun idx -> reinject t point frames.(idx - 1)) order
+        (* release in the user's permutation, as one burst; indices were
+           validated at compile time and normalized at init, but clamp
+           anyway — a bad index must never crash the release path *)
+        let m = Array.length frames in
+        if m > 0 then
+          Array.iter
+            (fun idx ->
+              let i = max 0 (min (m - 1) (idx - 1)) in
+              reinject t point frames.(i))
+            order
       end;
       Vw_stack.Hook.Stolen
   | `Dup ->
@@ -586,48 +704,62 @@ let handle_packet t point (frame : Vw_net.Eth.t) =
   | Some rt when not rt.started -> Vw_stack.Hook.Accept frame
   | Some rt -> (
       let actions_before = t.stats.actions_executed in
-      let data = Vw_net.Eth.to_bytes frame in
-      match Classifier.classify rt.tables ~bindings:rt.bindings data with
+      let scanned_before = t.cls.Classifier.filters_scanned in
+      match
+        Classifier.classify_frame ~stats:t.cls rt.tables
+          ~bindings:rt.bindings frame
+      with
       | None ->
           charge_cost t point
-            ~scanned:(Array.length rt.tables.Tables.filters)
+            ~scanned:(t.cls.Classifier.filters_scanned - scanned_before)
             ~actions:0
             (Vw_stack.Hook.Accept frame)
       | Some fid ->
           t.stats.packets_matched <- t.stats.packets_matched + 1;
           rt.last_match <- Some (now t);
-          (* 1. counter updates *)
+          let p = pindex point in
+          (* 1. counter updates: only the observers precomputed for this
+             (point, fid) *)
           let changed = ref [] in
           Array.iter
-            (fun (c : Tables.counter_entry) ->
+            (fun ob ->
               if
-                rt.counter_enabled.(c.Tables.cid)
-                && counter_observes rt c ~fid ~src:frame.src ~dst:frame.dst
-                     ~point
+                rt.counter_enabled.(ob.ob_cid)
+                && Vw_net.Mac.equal frame.src ob.ob_src
+                && Vw_net.Mac.equal frame.dst ob.ob_dst
               then begin
-                rt.counter_values.(c.Tables.cid) <-
-                  rt.counter_values.(c.Tables.cid) + 1;
+                rt.counter_values.(ob.ob_cid) <-
+                  rt.counter_values.(ob.ob_cid) + 1;
                 t.stats.counter_updates <- t.stats.counter_updates + 1;
-                changed := c.Tables.cid :: !changed
+                changed := ob.ob_cid :: !changed
               end)
-            rt.tables.Tables.counters;
+            rt.observing_counters.(p).(fid);
           (* 2. cascade *)
           if !changed <> [] then
             cascade t rt ~changed_counters:(List.rev !changed)
               ~changed_terms:[];
-          (* 3. apply the first armed fault matching this packet *)
-          let fault =
-            List.find_opt
-              (fun af ->
-                fault_applies rt af ~fid ~src:frame.src ~dst:frame.dst ~point)
-              rt.my_faults
+          (* 3. apply the first armed fault for this (point, fid) whose
+             condition holds and whose endpoints match *)
+          let faults = rt.faults_by_fid.(p).(fid) in
+          let n_faults = Array.length faults in
+          let rec first_fault i =
+            if i = n_faults then None
+            else
+              let af = faults.(i) in
+              if
+                rt.cond_status.(af.af_did)
+                && Vw_net.Mac.equal frame.src af.af_src
+                && Vw_net.Mac.equal frame.dst af.af_dst
+              then Some af
+              else first_fault (i + 1)
           in
           let verdict =
-            match fault with
+            match first_fault 0 with
             | Some af -> apply_fault t rt point frame af
             | None -> Vw_stack.Hook.Accept frame
           in
-          charge_cost t point ~scanned:(fid + 1)
+          charge_cost t point
+            ~scanned:(t.cls.Classifier.filters_scanned - scanned_before)
             ~actions:(t.stats.actions_executed - actions_before)
             verdict)
 
@@ -653,6 +785,7 @@ let install hst =
     {
       hst;
       stats = new_stats ();
+      cls = Classifier.new_scan_stats ();
       rt = None;
       report_handler = (fun _ -> ());
       egress_hook = None;

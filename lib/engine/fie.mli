@@ -12,6 +12,13 @@
     execute triggered actions. Counter-value and term-status changes
     propagate to remote nodes over the control plane.
 
+    The classification step dispatches through the precompiled
+    {!Vw_fsl.Tables.classification_index} and matches the frame in place
+    (no serialization); observers and armed faults are precomputed per
+    (hook point, filter id) at INIT, so a packet only touches the
+    candidates that could apply to it. See DESIGN.md, "Per-packet fast
+    path".
+
     Rule semantics (DESIGN.md §5): condition evaluation is {e snapshot,
     edge-triggered} — within a cascade round all affected conditions are
     evaluated against the same state, then every condition that rose
@@ -31,6 +38,12 @@ type report =
 type stats = {
   mutable packets_inspected : int;  (** frames seen by the hooks *)
   mutable packets_matched : int;  (** frames that matched a filter *)
+  mutable filters_scanned : int;
+      (** filter candidates actually tested by the indexed classifier —
+          the denominator of the per-packet scan cost *)
+  mutable index_hits : int;
+      (** packets whose discriminating field selected a bucket *)
+  mutable index_misses : int;  (** packets that scanned the fallback only *)
   mutable counter_updates : int;
   mutable terms_evaluated : int;
   mutable conditions_evaluated : int;

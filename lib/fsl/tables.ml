@@ -85,6 +85,13 @@ type compiled_action =
 
 type action_entry = { aid : int; exec_node : int; act : compiled_action }
 
+type classification_index = {
+  ci_offset : int;
+  ci_len : int;
+  ci_buckets : (int, int array) Hashtbl.t;
+  ci_fallback : int array;
+}
+
 type t = {
   scenario_name : string;
   inactivity_timeout : Vw_sim.Simtime.t option;
@@ -96,7 +103,100 @@ type t = {
   conds : cond_entry array;
   actions : action_entry array;
   rule_of_cond : int array;
+  cindex : classification_index;
 }
+
+(* --- classification index ---
+
+   Group filters by the value of one discriminating field: the (offset,
+   len) window that the most filters constrain with a mask-free literal
+   tuple. A filter keyed on value [v] can only match packets whose bytes at
+   that window equal [v] exactly, so the classifier reads the field once
+   and scans just that bucket (merged, in fid order, with the fallback
+   filters that do not constrain the window — Var_pattern or masked
+   tuples). Semantics are identical to the linear scan by construction. *)
+
+let tuple_key_value (tu : tuple) =
+  (* a tuple usable as an index key: mask-free literal, int-readable *)
+  match tu.t_pat with
+  | Bytes_pattern b when tu.t_mask = None && tu.t_len >= 1 && tu.t_len <= 7 ->
+      Some (Vw_util.Hexutil.to_int_be b ~pos:0 ~len:(Bytes.length b))
+  | Bytes_pattern _ | Var_pattern _ -> None
+
+let filter_key_at ~offset ~len (f : filter_entry) =
+  List.find_map
+    (fun tu ->
+      if tu.t_offset = offset && tu.t_len = len then tuple_key_value tu
+      else None)
+    f.f_tuples
+
+let build_index (filters : filter_entry array) =
+  (* pick the discriminator: the (offset, len) keyable in the most filters;
+     ties break toward the smallest window for determinism *)
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun f ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun tu ->
+          if tuple_key_value tu <> None then begin
+            let k = (tu.t_offset, tu.t_len) in
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.replace seen k ();
+              Hashtbl.replace counts k
+                (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+            end
+          end)
+        f.f_tuples)
+    filters;
+  let best =
+    Hashtbl.fold
+      (fun k c acc ->
+        match acc with
+        | Some (k0, c0) when c > c0 || (c = c0 && k < k0) -> Some (k, c)
+        | Some _ -> acc
+        | None -> Some (k, c))
+      counts None
+  in
+  match best with
+  | None ->
+      {
+        ci_offset = -1;
+        ci_len = 0;
+        ci_buckets = Hashtbl.create 1;
+        ci_fallback = Array.init (Array.length filters) (fun i -> i);
+      }
+  | Some ((ci_offset, ci_len), _) ->
+      let buckets = Hashtbl.create 16 in
+      let fallback = ref [] in
+      Array.iteri
+        (fun fid f ->
+          match filter_key_at ~offset:ci_offset ~len:ci_len f with
+          | Some key ->
+              let prev =
+                Option.value (Hashtbl.find_opt buckets key) ~default:[]
+              in
+              Hashtbl.replace buckets key (fid :: prev)
+          | None -> fallback := fid :: !fallback)
+        filters;
+      let ci_buckets = Hashtbl.create (Hashtbl.length buckets) in
+      Hashtbl.iter
+        (fun key fids ->
+          Hashtbl.replace ci_buckets key (Array.of_list (List.rev fids)))
+        buckets;
+      {
+        ci_offset;
+        ci_len;
+        ci_buckets;
+        ci_fallback = Array.of_list (List.rev !fallback);
+      }
+
+let index_stats t =
+  let buckets = Hashtbl.length t.cindex.ci_buckets in
+  let largest =
+    Hashtbl.fold (fun _ fids m -> max m (Array.length fids)) t.cindex.ci_buckets 0
+  in
+  (buckets, largest, Array.length t.cindex.ci_fallback)
 
 let array_find pred arr =
   let n = Array.length arr in

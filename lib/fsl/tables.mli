@@ -105,6 +105,22 @@ type compiled_action =
 
 type action_entry = { aid : int; exec_node : int; act : compiled_action }
 
+type classification_index = {
+  ci_offset : int;  (** discriminating field offset; -1 when no index *)
+  ci_len : int;  (** discriminating field length (1–7 bytes) *)
+  ci_buckets : (int, int array) Hashtbl.t;
+      (** big-endian field value → fids constraining the field to that
+          value, ascending *)
+  ci_fallback : int array;
+      (** fids that do not constrain the field (Var_pattern, masked, or no
+          tuple at the window) — always scanned, ascending *)
+}
+(** Precompiled classification index (see DESIGN.md "Per-packet fast
+    path"). A filter keyed under value [v] requires the packet bytes at
+    [ci_offset, ci_offset+ci_len) to equal [v] exactly, so the classifier
+    dispatches on one field read and scans [bucket ∪ fallback] in fid
+    order — semantically identical to the full linear scan. *)
+
 type t = {
   scenario_name : string;
   inactivity_timeout : Vw_sim.Simtime.t option;
@@ -116,7 +132,18 @@ type t = {
   conds : cond_entry array;
   actions : action_entry array;
   rule_of_cond : int array;  (** condition id → source rule index *)
+  cindex : classification_index;
+      (** derived from [filters]; rebuilt (not shipped) by the codec *)
 }
+
+val build_index : filter_entry array -> classification_index
+(** Choose the discriminating (offset, len) window — the one a mask-free
+    literal tuple constrains in the most filters — and bucket the filters
+    by its value. *)
+
+val index_stats : t -> int * int * int
+(** [(buckets, largest_bucket, fallback_filters)] — the shape of the
+    index, for [vwctl check] and the bench summary. *)
 
 val node_by_name : t -> string -> node_entry option
 val node_by_mac : t -> Vw_net.Mac.t -> node_entry option

@@ -370,18 +370,23 @@ let of_bytes data =
       in
       let actions = R.list r read_action in
       let rule_of_cond = read_int_list r in
+      let filters = Array.of_list filters in
       Ok
         {
           scenario_name;
           inactivity_timeout;
           vars = Array.of_list vars;
-          filters = Array.of_list filters;
+          filters;
           nodes = Array.of_list nodes;
           counters = Array.of_list counters;
           terms = Array.of_list terms;
           conds = Array.of_list conds;
           actions = Array.of_list actions;
           rule_of_cond = Array.of_list rule_of_cond;
+          (* the index is derived data: rebuilt here, never serialized, so
+             the wire format is unchanged and the index can never disagree
+             with the filter table it came from *)
+          cindex = build_index filters;
         }
     end
   with

@@ -17,6 +17,52 @@ let to_bytes t =
   Bytes.blit t.payload 0 b header_size (Bytes.length t.payload);
   b
 
+(* --- zero-copy field access over the serialized layout ---
+
+   The FIE classifies every frame against filter-table offsets into the
+   serialized form (dst@0, src@6, ethertype@12, payload from 14). These
+   accessors answer those reads straight from the record, so the hot path
+   never has to allocate a [to_bytes] copy just to classify. *)
+
+let get_byte t i =
+  if i < 12 then
+    if i < 6 then Mac.get_byte t.dst i else Mac.get_byte t.src (i - 6)
+  else if i = 12 then (t.ethertype lsr 8) land 0xff
+  else if i = 13 then t.ethertype land 0xff
+  else Char.code (Bytes.get t.payload (i - 14))
+
+let read_int_be t ~pos ~len =
+  if len < 1 || len > 7 then invalid_arg "Eth.read_int_be: len out of [1;7]";
+  if pos < 0 || pos + len > size t then invalid_arg "Eth.read_int_be: out of range";
+  let rec go acc i =
+    if i = len then acc else go ((acc lsl 8) lor get_byte t (pos + i)) (i + 1)
+  in
+  go 0 0
+
+let masked_field_equal t ~pos ~pattern ~mask =
+  let len = Bytes.length pattern in
+  if pos < 0 || pos + len > size t then false
+  else if pos >= header_size then
+    (* entirely inside the payload: compare in place *)
+    Vw_util.Hexutil.masked_equal t.payload ~pos:(pos - header_size) ~pattern
+      ~mask
+  else begin
+    let m i =
+      match mask with
+      | None -> 0xff
+      | Some m when i < Bytes.length m -> Char.code (Bytes.get m i)
+      | Some _ -> 0xff
+    in
+    let rec go i =
+      if i = len then true
+      else
+        let bv = get_byte t (pos + i) land m i in
+        let pv = Char.code (Bytes.get pattern i) land m i in
+        if bv = pv then go (i + 1) else false
+    in
+    go 0
+  end
+
 let of_bytes b =
   if Bytes.length b < header_size then
     invalid_arg "Eth.of_bytes: frame shorter than header";

@@ -28,4 +28,25 @@ val to_bytes : t -> bytes
 val of_bytes : bytes -> t
 (** @raise Invalid_argument if shorter than the header. *)
 
+(** {2 Zero-copy field access}
+
+    The classifier's filter-table offsets address the {e serialized} frame
+    ([dst]@0, [src]@6, [ethertype]@12, payload from {!header_size}). These
+    read that layout directly from the record, without the per-packet
+    [to_bytes] allocation. *)
+
+val get_byte : t -> int -> int
+(** Byte [i] of the serialized frame. @raise Invalid_argument outside
+    [0, size t). *)
+
+val read_int_be : t -> pos:int -> len:int -> int
+(** Big-endian unsigned read of [len] (1–7) bytes at [pos].
+    @raise Invalid_argument out of range. *)
+
+val masked_field_equal :
+  t -> pos:int -> pattern:bytes -> mask:bytes option -> bool
+(** [masked_field_equal t ~pos ~pattern ~mask] is
+    [Hexutil.masked_equal (to_bytes t) ~pos ~pattern ~mask] without the
+    copy: false (never an exception) if the window exceeds the frame. *)
+
 val pp : Format.formatter -> t -> unit

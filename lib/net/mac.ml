@@ -27,6 +27,7 @@ let of_bytes b ~pos =
   Bytes.sub_string b pos 6
 
 let write t b ~pos = Bytes.blit_string t 0 b pos 6
+let get_byte t i = Char.code t.[i]
 let broadcast = String.make 6 '\xff'
 let is_broadcast t = String.equal t broadcast
 

@@ -13,6 +13,11 @@ val of_string : string -> t
 val to_string : t -> string
 val of_bytes : bytes -> pos:int -> t
 val write : t -> bytes -> pos:int -> unit
+
+val get_byte : t -> int -> int
+(** Octet [i] (0–5) of the address, without serializing.
+    @raise Invalid_argument if [i] is out of range. *)
+
 val broadcast : t
 val is_broadcast : t -> bool
 

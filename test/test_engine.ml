@@ -10,6 +10,7 @@ module Testbed = Vw_core.Testbed
 module Scenario = Vw_core.Scenario
 
 let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
 
 let compile src =
   match Vw_fsl.Compile.parse_and_compile src with
@@ -97,6 +98,85 @@ let test_classify_truncated_frame () =
   check (Alcotest.option Alcotest.int) "short ip frame matches nothing" None
     (C.classify classifier_tables ~bindings:no_bindings
        (frame_bytes ~ethertype:0x0800 ~payload:"00"))
+
+(* --- indexed vs linear classifier equivalence (property) ---
+
+   Random filter tables — literal, masked and variable tuples over a tiny
+   byte alphabet, so bucket collisions, fallback interleavings and
+   first-match ties are dense — against random frames: the indexed
+   [classify] and the zero-copy [classify_frame] must return exactly what
+   the naive first-match [classify_linear] reference returns. *)
+
+let tables_of_filters filters =
+  {
+    Tables.scenario_name = "prop";
+    inactivity_timeout = None;
+    vars = [| { Tables.vid = 0; vname = "V"; v_len = 2 } |];
+    filters;
+    nodes = [||];
+    counters = [||];
+    terms = [||];
+    conds = [||];
+    actions = [||];
+    rule_of_cond = [||];
+    cindex = Tables.build_index filters;
+  }
+
+let gen_equiv_case =
+  let open QCheck.Gen in
+  let small_char = oneofl [ '\x00'; '\x01' ] in
+  let gen_pat len =
+    map Bytes.of_string (string_size ~gen:small_char (return len))
+  in
+  let gen_tuple =
+    int_range 1 2 >>= fun t_len ->
+    oneofl [ 12; 13; 14; 15; 34 ] >>= fun t_offset ->
+    frequency [ (4, return None); (1, map Option.some (gen_pat t_len)) ]
+    >>= fun t_mask ->
+    frequency
+      [
+        (5, map (fun p -> Tables.Bytes_pattern p) (gen_pat t_len));
+        (1, return (Tables.Var_pattern 0));
+      ]
+    >>= fun t_pat -> return { Tables.t_offset; t_len; t_mask; t_pat }
+  in
+  int_range 1 16 >>= fun n_filters ->
+  list_size (return n_filters) (list_size (int_range 0 3) gen_tuple)
+  >>= fun tuple_lists ->
+  let filters =
+    Array.of_list
+      (List.mapi
+         (fun fid f_tuples ->
+           { Tables.fid; fname = Printf.sprintf "f%d" fid; f_tuples })
+         tuple_lists)
+  in
+  frequency
+    [ (1, return [| None |]); (2, map (fun p -> [| Some p |]) (gen_pat 2)) ]
+  >>= fun bindings ->
+  list_size (int_range 1 8)
+    ( oneofl [ 0x0000; 0x0001; 0x0100; 0x0101 ] >>= fun ethertype ->
+      string_size ~gen:small_char (int_range 0 25) >>= fun payload ->
+      return
+        (Vw_net.Eth.make
+           ~dst:(Vw_net.Mac.of_int 2)
+           ~src:(Vw_net.Mac.of_int 1)
+           ~ethertype
+           (Bytes.of_string payload)) )
+  >>= fun frames -> return (filters, bindings, frames)
+
+let prop_indexed_equals_linear =
+  QCheck.Test.make ~name:"indexed classifier == linear reference" ~count:500
+    (QCheck.make gen_equiv_case)
+    (fun (filters, bindings, frames) ->
+      let module C = Vw_engine.Classifier in
+      let t = tables_of_filters filters in
+      List.for_all
+        (fun frame ->
+          let data = Vw_net.Eth.to_bytes frame in
+          let expected = C.classify_linear t ~bindings data in
+          C.classify t ~bindings data = expected
+          && C.classify_frame t ~bindings frame = expected)
+        frames)
 
 (* --- end-to-end scenario helpers --- *)
 
@@ -383,6 +463,66 @@ PING_R: (udp_ping, alice, bob, RECV)
   (match result with Error e -> Alcotest.fail e | Ok _ -> ());
   check (Alcotest.list Alcotest.string) "released as 3 1 2"
     [ "three"; "one"; "two" ] (List.rev !arrivals)
+
+let test_reorder_corrupt_permutation () =
+  (* The compiler rejects a non-permutation REORDER order, but tables also
+     arrive over the wire. Corrupt the order out-of-band, as a damaged or
+     adversarial INIT payload would: the engine must normalize it to the
+     identity at init and release every buffered frame, never crash. *)
+  let src =
+    script ~header:"reorder_bad"
+      ~rules:
+        {|
+PING_R: (udp_ping, alice, bob, RECV)
+(TRUE) >> ENABLE_CNTR( PING_R );
+((PING_R >= 1)) >> REORDER( udp_ping, alice, bob, RECV, 3, [3 1 2] );
+|}
+  in
+  let tables = compile src in
+  let actions =
+    Array.map
+      (fun (a : Tables.action_entry) ->
+        match a.Tables.act with
+        | Tables.A_reorder (s, n, _) ->
+            { a with Tables.act = Tables.A_reorder (s, n, [| 9; 0; 7 |]) }
+        | _ -> a)
+      tables.Tables.actions
+  in
+  let tables = { tables with Tables.actions } in
+  let testbed =
+    Testbed.create
+      [
+        ("alice", Vw_net.Mac.of_string "02:00:00:00:00:0a", alice_ip);
+        ("bob", Vw_net.Mac.of_string "02:00:00:00:00:0b", bob_ip);
+      ]
+  in
+  let nodes = [ Testbed.node testbed "alice"; Testbed.node testbed "bob" ] in
+  List.iter
+    (fun node ->
+      match Fie.init_local (Testbed.fie node) ~controller_nid:0 tables with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "init: %s" e)
+    nodes;
+  List.iter (fun node -> Fie.start_local (Testbed.fie node)) nodes;
+  let engine = Testbed.engine testbed in
+  let alice = Testbed.host (Testbed.node testbed "alice") in
+  let bob = Testbed.host (Testbed.node testbed "bob") in
+  let arrivals = ref [] in
+  Host.udp_bind bob ~port:5001 (fun ~src:_ ~src_port:_ payload ->
+      arrivals := Bytes.to_string payload :: !arrivals);
+  List.iteri
+    (fun i tag ->
+      ignore
+        (Engine.schedule_after engine
+           ~delay:(i * Simtime.ms 2)
+           (fun () ->
+             Host.udp_send alice ~src_port:5000 ~dst:bob_ip ~dst_port:5001
+               (Bytes.of_string tag))))
+    [ "one"; "two"; "three" ];
+  Testbed.run testbed ~until:(Simtime.ms 100) ();
+  check (Alcotest.list Alcotest.string)
+    "identity release, nothing lost or duplicated"
+    [ "one"; "two"; "three" ] (List.rev !arrivals)
 
 let test_fault_only_while_condition_holds () =
   (* level semantics: the DROP turns off when its condition goes false *)
@@ -749,6 +889,7 @@ let suite =
         Alcotest.test_case "mask matching" `Quick test_classify_mask;
         Alcotest.test_case "variable binding" `Quick test_classify_var_binding;
         Alcotest.test_case "truncated frames" `Quick test_classify_truncated_frame;
+        qtest prop_indexed_equals_linear;
       ] );
     ( "engine.counters",
       [
@@ -766,6 +907,8 @@ let suite =
         Alcotest.test_case "MODIFY random" `Quick test_modify_fault_corrupts_checksum;
         Alcotest.test_case "MODIFY pattern" `Quick test_modify_fault_explicit_pattern;
         Alcotest.test_case "REORDER" `Quick test_reorder_fault;
+        Alcotest.test_case "REORDER corrupt permutation" `Quick
+          test_reorder_corrupt_permutation;
         Alcotest.test_case "level-armed window" `Quick
           test_fault_only_while_condition_holds;
       ] );

@@ -169,6 +169,37 @@ let prop_stats_mean_bounded =
       Stats.mean s >= Stats.min_value s -. 1e-9
       && Stats.mean s <= Stats.max_value s +. 1e-9)
 
+(* --- Worklist --- *)
+
+let test_worklist_basics () =
+  let w = Worklist.create 4 in
+  check Alcotest.bool "empty" true (Worklist.is_empty w);
+  check Alcotest.bool "first add" true (Worklist.add w 3);
+  check Alcotest.bool "dup rejected" false (Worklist.add w 3);
+  ignore (Worklist.add w 1);
+  (* ids beyond the initial capacity grow the bitset *)
+  ignore (Worklist.add w 100);
+  check Alcotest.int "three members" 3 (Worklist.length w);
+  check Alcotest.bool "mem" true (Worklist.mem w 100);
+  check Alcotest.bool "not mem" false (Worklist.mem w 2);
+  check (Alcotest.list Alcotest.int) "insertion order" [ 3; 1; 100 ]
+    (Worklist.to_list w);
+  Worklist.sort w;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 3; 100 ] (Worklist.to_list w);
+  Worklist.clear w;
+  check Alcotest.bool "cleared" true (Worklist.is_empty w);
+  check Alcotest.bool "bits cleared too" false (Worklist.mem w 3);
+  check Alcotest.bool "reusable after clear" true (Worklist.add w 3)
+
+let prop_worklist_is_sort_uniq =
+  QCheck.Test.make ~name:"worklist sort == List.sort_uniq" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_bound 80))
+    (fun ids ->
+      let w = Worklist.create 8 in
+      List.iter (fun id -> ignore (Worklist.add w id)) ids;
+      Worklist.sort w;
+      Worklist.to_list w = List.sort_uniq compare ids)
+
 let suite =
   [
     ( "util.hex",
@@ -203,5 +234,10 @@ let suite =
         Alcotest.test_case "empty" `Quick test_stats_empty;
         Alcotest.test_case "merge" `Quick test_stats_merge;
         qtest prop_stats_mean_bounded;
+      ] );
+    ( "util.worklist",
+      [
+        Alcotest.test_case "dedup / order / clear" `Quick test_worklist_basics;
+        qtest prop_worklist_is_sort_uniq;
       ] );
   ]
