@@ -306,11 +306,16 @@ let micro_classify_results () =
    host wall-clock time by the packets the two engines inspected. The
    actions:true/actions:false delta isolates the cascade cost per matched
    packet. *)
-let micro_pipeline ~actions =
+let micro_pipeline ?(obs = false) ~actions () =
   let testbed =
-    Workload.prepare ~script_of:Workload.udp_overhead_script
-      (Workload.Vw { n_filters = 25; actions })
+    Workload.make_testbed (Workload.Vw { n_filters = 25; actions })
   in
+  (* the recorder must be wired in before INIT traffic so the on/off
+     ablation measures identical deployments *)
+  if obs then Testbed.enable_observability testbed;
+  Workload.deploy_overhead
+    ~script:(Workload.udp_overhead_script ~n_filters:25 ~actions)
+    testbed;
   (* the cost model withholds packets in *simulated* time; it does not
      affect the host-time measurement but keeps the run realistic *)
   let t0 = Sys.time () in
@@ -332,9 +337,16 @@ let micro_pipeline ~actions =
 
 let micro () =
   let classify = micro_classify_results () in
-  let w0, p0, ns0, pps0 = micro_pipeline ~actions:false in
-  let w1, p1, ns1, pps1 = micro_pipeline ~actions:true in
+  let w0, p0, ns0, pps0 = micro_pipeline ~actions:false () in
+  let w1, p1, ns1, pps1 = micro_pipeline ~actions:true () in
   let cascade_ns = ns1 -. ns0 in
+  (* flight-recorder ablation: the same rules+actions pipeline with the
+     recorder disabled (the default no-op sink — this IS the w1 row,
+     re-measured so the pair shares cache state) and enabled. "Disabled
+     costs nothing" means off ≈ w1; "on" prices the recording itself. *)
+  let woff, poff, nsoff, ppsoff = micro_pipeline ~obs:false ~actions:true () in
+  let won, pon, nson, ppson = micro_pipeline ~obs:true ~actions:true () in
+  let recording_ns = nson -. nsoff in
   let ib25, il25, if25 = Vw_fsl.Tables.index_stats (micro_tables 25) in
   let ib100, il100, if100 = Vw_fsl.Tables.index_stats (micro_tables 100) in
   if json_mode then begin
@@ -365,8 +377,18 @@ let micro () =
          \    \"rules_actions\": { \"wall_s\": %.4f, \"packets\": %d, \
           \"ns_per_packet\": %.1f, \"packets_per_sec\": %.0f },\n\
          \    \"cascade_ns_per_packet\": %.1f\n\
-         \  }\n}\n"
+         \  },\n"
          w0 p0 ns0 pps0 w1 p1 ns1 pps1 cascade_ns);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"obs_ablation\": {\n\
+         \    \"recorder_off\": { \"wall_s\": %.4f, \"packets\": %d, \
+          \"ns_per_packet\": %.1f, \"packets_per_sec\": %.0f },\n\
+         \    \"recorder_on\": { \"wall_s\": %.4f, \"packets\": %d, \
+          \"ns_per_packet\": %.1f, \"packets_per_sec\": %.0f },\n\
+         \    \"recording_ns_per_packet\": %.1f\n\
+         \  }\n}\n"
+         woff poff nsoff ppsoff won pon nson ppson recording_ns);
     print_string (Buffer.contents buf)
   end
   else begin
@@ -385,7 +407,17 @@ let micro () =
       pps0;
     Printf.printf "%-16s %10.3f %10d %14.1f %14.0f\n" "rules+actions" w1 p1
       ns1 pps1;
-    Printf.printf "cascade cost: %.1f ns per inspected packet\n" cascade_ns
+    Printf.printf "cascade cost: %.1f ns per inspected packet\n" cascade_ns;
+    header "Flight-recorder ablation (rules+actions pipeline)";
+    Printf.printf "%-16s %10s %10s %14s %14s\n" "recorder" "wall_s" "packets"
+      "ns/packet" "packets/sec";
+    Printf.printf "%-16s %10.3f %10d %14.1f %14.0f\n" "off" woff poff nsoff
+      ppsoff;
+    Printf.printf "%-16s %10.3f %10d %14.1f %14.0f\n" "on" won pon nson ppson;
+    Printf.printf
+      "recording cost: %.1f ns per inspected packet (disabled recorder is a \
+       single branch per would-be event)\n"
+      recording_ns
   end
 
 (* ------------------------------------------------------------------ *)

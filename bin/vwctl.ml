@@ -4,15 +4,22 @@
    control node [to which] the user ... submits [a script] through a
    command line interface" (Section 5.1), driving simulated testbeds:
 
-     vwctl check  script.fsl          parse + compile, report problems
-     vwctl parse  script.fsl          dump the six tables (Figure 3)
-     vwctl run    script.fsl [opts]   build the testbed and run the scenario
-     vwctl script figure5|figure6     print the paper's embedded scripts *)
+     vwctl check   script.fsl            parse + compile, report problems
+     vwctl parse   script.fsl            dump the six tables (Figure 3)
+     vwctl run     script.fsl [opts]     build the testbed and run the scenario
+     vwctl explain script.fsl --rule N   why did rule N fire (or not)?
+     vwctl script  figure5|figure6       print the paper's embedded scripts
+
+   Wherever a SCRIPT is expected, the embedded names figure5, figure6 and
+   quickstart work as well as file paths. *)
 
 open Cmdliner
 module Testbed = Vw_core.Testbed
 module Scenario = Vw_core.Scenario
 module Trace = Vw_core.Trace
+module Explain = Vw_core.Explain
+module Metrics = Vw_obs.Metrics
+module Event = Vw_obs.Event
 module Host = Vw_stack.Host
 module Tcp = Vw_tcp.Tcp
 module Rether = Vw_rether.Rether
@@ -24,10 +31,16 @@ let read_file path =
   close_in ic;
   s
 
+(* a SCRIPT argument: an embedded scenario by name, else a file path *)
 let load_script path =
-  match read_file path with
-  | s -> Ok s
-  | exception Sys_error e -> Error e
+  match path with
+  | "figure5" -> Ok Vw_scripts.tcp_ss_ca
+  | "figure6" -> Ok Vw_scripts.rether_failure
+  | "quickstart" -> Ok Vw_scripts.udp_drop_dup
+  | path -> (
+      match read_file path with
+      | s -> Ok s
+      | exception Sys_error e -> Error e)
 
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
@@ -38,7 +51,7 @@ let setup_logs verbose =
 
 let check_cmd =
   let script_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
   in
   let run script_path =
     match load_script script_path with
@@ -71,7 +84,7 @@ let check_cmd =
 
 let parse_cmd =
   let script_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
   in
   let run script_path =
     match load_script script_path with
@@ -172,7 +185,7 @@ let make_workload kind ~bytes testbed =
 
 let run_cmd =
   let script_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
   in
   let workload_arg =
     Arg.(
@@ -221,12 +234,47 @@ let run_cmd =
       value & flag
       & info [ "stats" ]
           ~doc:
-            "Dump every node's engine statistics after the run: packets \
-             inspected/matched, filter candidates scanned, classification \
-             index hits/misses, faults injected.")
+            "Dump every engine-statistics field for every node after the \
+             run, sourced from the metrics registry.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Print the full metrics registry (counters and histograms) to \
+             stdout as JSON (schema vw-metrics/1).")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Enable the flight recorder and write the merged event log to \
+             $(docv) as JSON Lines (schema vw-events/1; first line is a \
+             header object).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry to $(docv) as JSON (schema \
+             vw-metrics/1).")
+  in
+  let pcap_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pcap" ] ~docv:"FILE"
+          ~doc:
+            "Write the captured trace to $(docv) as a classic libpcap file \
+             (LINKTYPE_ETHERNET), readable by tcpdump and wireshark.")
   in
   let run script_path workload bytes duration rll trace_n verbose counters
-      show_stats =
+      show_stats stats_json events_out metrics_out pcap_out =
     setup_logs verbose;
     match load_script script_path with
     | Error e ->
@@ -245,6 +293,11 @@ let run_cmd =
               }
             in
             let testbed = Testbed.of_node_table ~config tables in
+            let need_obs =
+              show_stats || stats_json || events_out <> None
+              || metrics_out <> None
+            in
+            if need_obs then Testbed.enable_observability testbed;
             match
               Scenario.run testbed ~script:src
                 ~max_duration:(Vw_sim.Simtime.sec duration)
@@ -254,11 +307,16 @@ let run_cmd =
                 Printf.eprintf "error: %s\n" e;
                 1
             | Ok result ->
-                Format.printf "%a@." Scenario.pp_result result;
+                (* with --stats-json, stdout is reserved for the JSON *)
+                let human =
+                  if stats_json then Format.err_formatter
+                  else Format.std_formatter
+                in
+                Format.fprintf human "%a@." Scenario.pp_result result;
                 List.iter
                   (fun { Scenario.err_node; err_rule } ->
-                    Printf.printf "  FLAG_ERROR from %s (rule %d)\n" err_node
-                      err_rule)
+                    Format.fprintf human "  FLAG_ERROR from %s (rule %d)@."
+                      err_node err_rule)
                   result.Scenario.errors;
                 if counters then
                   List.iter
@@ -275,27 +333,56 @@ let run_cmd =
                                 (if enabled then "" else "  (disabled)"))
                             cs)
                     (Testbed.nodes testbed);
-                if show_stats then
-                  List.iter
-                    (fun node ->
-                      let s = Vw_engine.Fie.stats (Testbed.fie node) in
-                      Printf.printf "engine stats at %s:\n" (Testbed.name node);
-                      Printf.printf
-                        "  packets: %d inspected, %d matched; filters \
-                         scanned: %d; index: %d hits, %d misses\n"
-                        s.Vw_engine.Fie.packets_inspected
-                        s.Vw_engine.Fie.packets_matched
-                        s.Vw_engine.Fie.filters_scanned
-                        s.Vw_engine.Fie.index_hits
-                        s.Vw_engine.Fie.index_misses;
-                      Printf.printf
-                        "  faults: %d drop, %d delay, %d reorder, %d dup, %d \
-                         modify; actions: %d\n"
-                        s.Vw_engine.Fie.faults_drop s.Vw_engine.Fie.faults_delay
-                        s.Vw_engine.Fie.faults_reorder s.Vw_engine.Fie.faults_dup
-                        s.Vw_engine.Fie.faults_modify
-                        s.Vw_engine.Fie.actions_executed)
-                    (Testbed.nodes testbed);
+                (* observability outputs, all fed from one registry export *)
+                let mx = Testbed.metrics testbed in
+                (match (show_stats, mx) with
+                | true, Some mx ->
+                    (* every stats field, per node, via the registry *)
+                    List.iter
+                      (fun node ->
+                        let nname = Testbed.name node in
+                        Printf.printf "engine stats at %s:\n" nname;
+                        List.iter
+                          (fun (field, _) ->
+                            let key =
+                              Printf.sprintf "node.%s.%s" nname field
+                            in
+                            Printf.printf "  %-28s %10d\n" field
+                              (Metrics.value (Metrics.counter mx key)))
+                          (Vw_engine.Fie.stats_fields
+                             (Vw_engine.Fie.stats (Testbed.fie node))))
+                      (Testbed.nodes testbed)
+                | _ -> ());
+                (match (stats_json, mx) with
+                | true, Some mx -> print_string (Metrics.to_json mx)
+                | _ -> ());
+                (match (metrics_out, mx) with
+                | Some path, Some mx ->
+                    let oc = open_out path in
+                    output_string oc (Metrics.to_json mx);
+                    close_out oc
+                | _ -> ());
+                (match events_out with
+                | Some path ->
+                    let oc = open_out path in
+                    Printf.fprintf oc
+                      "{\"schema\":\"vw-events/1\",\"scenario\":%S,\"recorded\":%d,\"dropped\":%d}\n"
+                      result.Scenario.scenario_name
+                      (Testbed.events_recorded testbed)
+                      (Testbed.events_dropped testbed);
+                    List.iter
+                      (fun e ->
+                        output_string oc (Event.to_json e);
+                        output_char oc '\n')
+                      (Testbed.events testbed);
+                    close_out oc
+                | None -> ());
+                (match pcap_out with
+                | Some path ->
+                    let oc = open_out_bin path in
+                    Trace.to_pcap (Testbed.trace testbed) oc;
+                    close_out oc
+                | None -> ());
                 if trace_n > 0 then begin
                   let entries = Trace.entries (Testbed.trace testbed) in
                   let total = List.length entries in
@@ -316,7 +403,105 @@ let run_cmd =
           deploy over the control plane and run the scenario.")
     Term.(
       const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
-      $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg)
+      $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg
+      $ stats_json_arg $ events_arg $ metrics_arg $ pcap_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
+  in
+  let rule_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "rule" ] ~docv:"N"
+          ~doc:
+            "The rule to explain, counting the script's rules from 0 in \
+             source order.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt workload_conv Tcp_stream
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:"Traffic to drive through the testbed (as for $(b,run)).")
+  in
+  let bytes_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "b"; "bytes" ] ~docv:"N" ~doc:"Workload payload volume.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "d"; "max-duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated-time budget for the scenario.")
+  in
+  let rll_arg =
+    Arg.(
+      value & flag
+      & info [ "rll" ] ~doc:"Install the Reliable Link Layer on every node.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+  in
+  let run script_path rule workload bytes duration rll verbose =
+    setup_logs verbose;
+    match load_script script_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok src -> (
+        match Vw_fsl.Compile.parse_and_compile src with
+        | Error e ->
+            Printf.eprintf "%s: %s\n" script_path e;
+            1
+        | Ok tables ->
+            let n_rules = Explain.num_rules tables in
+            if rule < 0 || rule >= n_rules then begin
+              Printf.eprintf "error: no rule %d (script has rules 0..%d)\n"
+                rule (n_rules - 1);
+              1
+            end
+            else begin
+              let config =
+                {
+                  Testbed.default_config with
+                  rll = (if rll then Some Vw_rll.Rll.default_config else None);
+                }
+              in
+              let testbed = Testbed.of_node_table ~config tables in
+              Testbed.enable_observability testbed;
+              match
+                Scenario.run testbed ~script:src
+                  ~max_duration:(Vw_sim.Simtime.sec duration)
+                  ~workload:(make_workload workload ~bytes)
+              with
+              | Error e ->
+                  Printf.eprintf "error: %s\n" e;
+                  1
+              | Ok result ->
+                  Format.printf "%a@." Scenario.pp_result result;
+                  let analysis =
+                    Explain.analyze tables (Testbed.events testbed)
+                  in
+                  Format.printf "%a"
+                    (Explain.pp_verdict tables ~rule)
+                    (Explain.explain analysis ~rule);
+                  0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a scenario with the flight recorder on, then print the causal \
+          chain that made rule $(b,N) fire — or, if it never fired, the \
+          furthest pipeline stage its dependencies reached.")
+    Term.(
+      const run $ script_arg $ rule_arg $ workload_arg $ bytes_arg
+      $ duration_arg $ rll_arg $ verbose_arg)
 
 (* --- suite --- *)
 
@@ -446,4 +631,5 @@ let () =
   let info = Cmd.info "vwctl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ check_cmd; parse_cmd; run_cmd; suite_cmd; script_cmd ]))
+       (Cmd.group info
+          [ check_cmd; parse_cmd; run_cmd; explain_cmd; suite_cmd; script_cmd ]))

@@ -8,6 +8,7 @@ type result = {
   errors : error list;
   duration : Vw_sim.Simtime.t;
   trace_length : int;
+  events_recorded : int;
 }
 
 let passed r = r.errors = [] && r.outcome <> Timed_out
@@ -121,4 +122,5 @@ let run ?controller ?(max_duration = Vw_sim.Simtime.sec 60.0)
           errors;
           duration = Vw_sim.Simtime.(Vw_sim.Engine.now engine - t0);
           trace_length = Trace.length (Testbed.trace testbed);
+          events_recorded = Testbed.events_recorded testbed;
         }

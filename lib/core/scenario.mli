@@ -23,6 +23,9 @@ type result = {
   errors : error list;
   duration : Vw_sim.Simtime.t;  (** simulated time consumed *)
   trace_length : int;
+  events_recorded : int;
+      (** flight-recorder events emitted during the run; 0 when
+          observability was not enabled on the testbed *)
 }
 
 val passed : result -> bool

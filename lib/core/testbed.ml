@@ -30,6 +30,11 @@ type node = {
   mutable node_tcp : Vw_tcp.Tcp.stack option;
 }
 
+type observability = {
+  obs_metrics : Vw_obs.Metrics.t;
+  obs_recorders : (string * Vw_obs.Recorder.t) list; (* node order *)
+}
+
 type t = {
   engine : Vw_sim.Engine.t;
   trace : Trace.t;
@@ -37,6 +42,7 @@ type t = {
   by_name : (string, node) Hashtbl.t;
   switch : Vw_link.Switch.t option;
   bus : Vw_link.Bus.t option;
+  mutable obs : observability option;
 }
 
 let engine t = t.engine
@@ -135,7 +141,7 @@ let create ?(config = default_config) specs =
       all;
   let by_name = Hashtbl.create 8 in
   List.iter (fun n -> Hashtbl.replace by_name n.node_name n) all;
-  { engine; trace; all; by_name; switch; bus }
+  { engine; trace; all; by_name; switch; bus; obs = None }
 
 let of_node_table ?config (tables : Vw_fsl.Tables.t) =
   create ?config
@@ -143,3 +149,98 @@ let of_node_table ?config (tables : Vw_fsl.Tables.t) =
     |> List.map (fun (n : Vw_fsl.Tables.node_entry) -> (n.nname, n.nmac, n.nip)))
 
 let run t ?until () = Vw_sim.Engine.run ?until t.engine
+
+(* --- observability --- *)
+
+let enable_observability ?capacity t =
+  match t.obs with
+  | Some _ -> () (* idempotent; recorders survive Fie.reset *)
+  | None ->
+      let obs_metrics = Vw_obs.Metrics.create () in
+      let seq = ref 0 in
+      let clock () = Vw_sim.Engine.now t.engine in
+      let obs_recorders =
+        List.map
+          (fun n ->
+            let rec_ =
+              Vw_obs.Recorder.create ?capacity ~node:n.node_name ~clock ~seq ()
+            in
+            Vw_engine.Fie.set_observability n.node_fie ~recorder:rec_
+              ~metrics:obs_metrics;
+            (n.node_name, rec_))
+          t.all
+      in
+      t.obs <- Some { obs_metrics; obs_recorders }
+
+let observability_enabled t = t.obs <> None
+
+let recorder t name =
+  Option.bind t.obs (fun o -> List.assoc_opt name o.obs_recorders)
+
+let events t =
+  match t.obs with
+  | None -> []
+  | Some o ->
+      o.obs_recorders
+      |> List.concat_map (fun (_, r) -> Vw_obs.Recorder.events r)
+      |> List.sort (fun (a : Vw_obs.Event.t) b -> compare a.seq b.seq)
+
+let events_recorded t =
+  match t.obs with
+  | None -> 0
+  | Some o ->
+      List.fold_left
+        (fun acc (_, r) ->
+          acc + Vw_obs.Recorder.length r + Vw_obs.Recorder.dropped r)
+        0 o.obs_recorders
+
+let events_dropped t =
+  match t.obs with
+  | None -> 0
+  | Some o ->
+      List.fold_left
+        (fun acc (_, r) -> acc + Vw_obs.Recorder.dropped r)
+        0 o.obs_recorders
+
+let metrics t =
+  match t.obs with
+  | None -> None
+  | Some o ->
+      (* export every engine's stats into the registry: per-node gauges
+         plus the cross-node totals. [Metrics.set] makes this idempotent,
+         so callers may export after each of several runs. *)
+      let mx = o.obs_metrics in
+      let totals = Hashtbl.create 32 in
+      List.iter
+        (fun n ->
+          let fields =
+            Vw_engine.Fie.stats_fields (Vw_engine.Fie.stats n.node_fie)
+          in
+          List.iter
+            (fun (field, v) ->
+              Vw_obs.Metrics.set
+                (Vw_obs.Metrics.counter mx
+                   (Printf.sprintf "node.%s.%s" n.node_name field))
+                v;
+              Hashtbl.replace totals field
+                (v
+                + Option.value ~default:0 (Hashtbl.find_opt totals field)))
+            fields)
+        t.all;
+      (* aggregate in stats-field order, taken from any one node *)
+      (match t.all with
+      | [] -> ()
+      | n0 :: _ ->
+          List.iter
+            (fun (field, _) ->
+              Vw_obs.Metrics.set
+                (Vw_obs.Metrics.counter mx ("engine." ^ field))
+                (Option.value ~default:0 (Hashtbl.find_opt totals field)))
+            (Vw_engine.Fie.stats_fields (Vw_engine.Fie.stats n0.node_fie)));
+      Vw_obs.Metrics.set
+        (Vw_obs.Metrics.counter mx "obs.events_recorded")
+        (events_recorded t);
+      Vw_obs.Metrics.set
+        (Vw_obs.Metrics.counter mx "obs.events_dropped")
+        (events_dropped t);
+      Some mx

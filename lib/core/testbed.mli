@@ -61,3 +61,36 @@ val tcp : node -> Vw_tcp.Tcp.stack
 
 val run : t -> ?until:Vw_sim.Simtime.t -> unit -> unit
 (** Convenience: run the simulation. *)
+
+(** {1 Observability}
+
+    Disabled by default: every engine starts with the no-op recorder and a
+    null metrics registry, so an unobserved run pays one boolean test per
+    would-be event. [enable_observability] switches the whole testbed on:
+    one flight recorder per node (sharing a sequence counter, so the merged
+    log is totally ordered) and one metrics registry for the run. *)
+
+val enable_observability : ?capacity:int -> t -> unit
+(** Wire a recorder into every node's engine and create the run's metrics
+    registry. [capacity] bounds each node's retained events (default
+    65536; oldest events are overwritten beyond it). Idempotent; survives
+    [Fie.reset], so successive scenarios on one testbed keep recording. *)
+
+val observability_enabled : t -> bool
+
+val recorder : t -> string -> Vw_obs.Recorder.t option
+(** The named node's flight recorder, if observability is on. *)
+
+val events : t -> Vw_obs.Event.t list
+(** All nodes' retained events merged by sequence number (global recording
+    order). Empty when observability is off. *)
+
+val events_recorded : t -> int
+(** Total events ever emitted (retained + overwritten). *)
+
+val events_dropped : t -> int
+
+val metrics : t -> Vw_obs.Metrics.t option
+(** The run's registry, with every engine's [stats] freshly exported into
+    it: [node.<name>.<field>] per node plus [engine.<field>] totals,
+    alongside the live histograms. Safe to call repeatedly. *)

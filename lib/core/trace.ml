@@ -5,40 +5,62 @@ type entry = {
   frame : Vw_net.Eth.t;
 }
 
+(* circular buffer: [head] is the next write slot; once full, recording
+   overwrites the oldest entry, so the retained window is always the most
+   recent [capacity] frames *)
 type t = {
   capacity : int;
-  mutable items : entry list; (* newest first *)
-  mutable count : int;
-  mutable truncated : bool;
+  ring : entry option array;
+  mutable head : int;
+  mutable count : int; (* retained entries, <= capacity *)
+  mutable dropped : int; (* overwritten entries *)
 }
 
 let create ?(capacity = 1_000_000) () =
-  { capacity; items = []; count = 0; truncated = false }
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; head = 0; count = 0; dropped = 0 }
 
 let record t ~time ~node ~dir frame =
-  if t.count >= t.capacity then t.truncated <- true
-  else begin
-    t.items <- { time; node; dir; frame } :: t.items;
-    t.count <- t.count + 1
-  end
+  if t.count = t.capacity then t.dropped <- t.dropped + 1
+  else t.count <- t.count + 1;
+  t.ring.(t.head) <- Some { time; node; dir; frame };
+  t.head <- (t.head + 1) mod t.capacity
 
-let entries t = List.rev t.items
+let iter t f =
+  (* oldest first: when full, the oldest entry sits at [head] *)
+  let start = if t.count = t.capacity then t.head else 0 in
+  for i = 0 to t.count - 1 do
+    match t.ring.((start + i) mod t.capacity) with
+    | Some e -> f e
+    | None -> ()
+  done
+
+let entries t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
 let length t = t.count
-let truncated t = t.truncated
+let dropped t = t.dropped
+let truncated t = t.dropped > 0
 
 let clear t =
-  t.items <- [];
+  Array.fill t.ring 0 t.capacity None;
+  t.head <- 0;
   t.count <- 0;
-  t.truncated <- false
+  t.dropped <- 0
 
 let filter t pred = List.filter pred (entries t)
 
 let count t ?node ?dir pred =
-  List.length
-    (filter t (fun e ->
-         (match node with Some n -> String.equal n e.node | None -> true)
-         && (match dir with Some d -> d = e.dir | None -> true)
-         && pred (Vw_net.Frame_view.of_frame e.frame)))
+  let n = ref 0 in
+  iter t (fun e ->
+      if
+        (match node with Some nm -> String.equal nm e.node | None -> true)
+        && (match dir with Some d -> d = e.dir | None -> true)
+        && pred (Vw_net.Frame_view.of_frame e.frame)
+      then incr n);
+  !n
 
 let pp_entry ppf e =
   Format.fprintf ppf "%a %-8s %s %s" Vw_sim.Simtime.pp e.time e.node
@@ -47,6 +69,41 @@ let pp_entry ppf e =
 
 let pp ppf t =
   Format.pp_open_vbox ppf 0;
-  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) (entries t);
-  if t.truncated then Format.fprintf ppf "... (trace truncated)@,";
+  if truncated t then
+    Format.fprintf ppf "... (%d oldest entries dropped)@," t.dropped;
+  iter t (fun e -> Format.fprintf ppf "%a@," pp_entry e);
   Format.pp_close_box ppf ()
+
+(* --- pcap export ---
+
+   Classic libpcap format (not pcapng): 24-byte global header then one
+   16-byte record header per frame, all little-endian, LINKTYPE_ETHERNET.
+   Readable by tcpdump/tshark/wireshark without flags. Simulated time maps
+   to the epoch: ts_sec/ts_usec count from t=0 of the run. *)
+
+let pcap_magic = 0xa1b2c3d4l
+let pcap_linktype_ethernet = 1l
+let pcap_snaplen = 65535l
+
+let to_pcap t oc =
+  let b = Buffer.create 4096 in
+  Buffer.add_int32_le b pcap_magic;
+  Buffer.add_int16_le b 2 (* version major *);
+  Buffer.add_int16_le b 4 (* version minor *);
+  Buffer.add_int32_le b 0l (* thiszone *);
+  Buffer.add_int32_le b 0l (* sigfigs *);
+  Buffer.add_int32_le b pcap_snaplen;
+  Buffer.add_int32_le b pcap_linktype_ethernet;
+  output_string oc (Buffer.contents b);
+  iter t (fun e ->
+      let payload = Vw_net.Eth.to_bytes e.frame in
+      let len = Bytes.length payload in
+      let sec = e.time / 1_000_000_000 in
+      let usec = e.time mod 1_000_000_000 / 1000 in
+      let rb = Buffer.create 16 in
+      Buffer.add_int32_le rb (Int32.of_int sec);
+      Buffer.add_int32_le rb (Int32.of_int usec);
+      Buffer.add_int32_le rb (Int32.of_int len) (* incl_len *);
+      Buffer.add_int32_le rb (Int32.of_int len) (* orig_len *);
+      output_string oc (Buffer.contents rb);
+      output_bytes oc payload)

@@ -17,8 +17,11 @@ type entry = {
 type t
 
 val create : ?capacity:int -> unit -> t
-(** [capacity] bounds memory (default 1_000_000 entries; older entries are
-    dropped beyond it and [truncated] turns true). *)
+(** [capacity] bounds memory (default 1_000_000 entries). The trace is a
+    ring: beyond capacity the {e oldest} entries are overwritten, so the
+    retained window is always the most recent [capacity] frames and
+    [truncated] turns true.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val record :
   t -> time:Vw_sim.Simtime.t -> node:string -> dir:[ `In | `Out ] ->
@@ -28,6 +31,11 @@ val entries : t -> entry list
 (** Oldest first. *)
 
 val length : t -> int
+(** Retained entries (≤ capacity). *)
+
+val dropped : t -> int
+(** Entries overwritten after the ring filled. *)
+
 val truncated : t -> bool
 val clear : t -> unit
 
@@ -40,3 +48,11 @@ val count : t -> ?node:string -> ?dir:[ `In | `Out ] ->
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
 (** Whole trace, one line per entry, tcpdump-style. *)
+
+val to_pcap : t -> out_channel -> unit
+(** Write the retained entries as a classic libpcap capture
+    (little-endian, v2.4, LINKTYPE_ETHERNET, snaplen 65535) readable by
+    tcpdump/tshark/wireshark. Record timestamps count from t=0 of the
+    simulation. The trace taps every node's NIC in both directions, so a
+    frame that crossed the wire intact appears twice (sender's out,
+    receiver's in) — exactly what a multi-port capture shows. *)

@@ -3,6 +3,9 @@ let src = Logs.Src.create "vw.fie" ~doc:"Fault Injection/Analysis Engine"
 module Log = (val Logs.src_log src : Logs.LOG)
 module Tables = Vw_fsl.Tables
 module Ast = Vw_fsl.Ast
+module Rec = Vw_obs.Recorder
+module Ev = Vw_obs.Event
+module Mx = Vw_obs.Metrics
 
 type report =
   | Stop_report of { nid : int }
@@ -101,6 +104,17 @@ type cost_model = {
   cost_per_action : Vw_sim.Simtime.t;
 }
 
+(* Histogram handles, resolved once against the run's metrics registry when
+   observability is enabled; [None] keeps the per-packet path free of even
+   a registry lookup. *)
+type mx = {
+  mx_cascade_depth : Mx.histogram;
+  mx_filters_scanned : Mx.histogram;
+  mx_delay_occupancy : Mx.histogram;
+  mx_reorder_occupancy : Mx.histogram;
+  mx_control_fanout : Mx.histogram;
+}
+
 type t = {
   hst : Vw_stack.Host.t;
   stats : stats;
@@ -110,6 +124,9 @@ type t = {
   mutable egress_hook : Vw_stack.Host.hook_id option;
   mutable ingress_hook : Vw_stack.Host.hook_id option;
   mutable cost : cost_model option;
+  mutable obs : Rec.t; (* flight recorder; Rec.null = disabled, no-op *)
+  mutable mx : mx option;
+  mutable delayed_inflight : int; (* DELAY-stolen frames not yet reinjected *)
 }
 
 let host t = t.hst
@@ -120,10 +137,67 @@ let stats t =
   t.stats.index_hits <- t.cls.Classifier.index_hits;
   t.stats.index_misses <- t.cls.Classifier.index_misses;
   t.stats
+let stats_fields (s : stats) =
+  [
+    ("packets_inspected", s.packets_inspected);
+    ("packets_matched", s.packets_matched);
+    ("filters_scanned", s.filters_scanned);
+    ("index_hits", s.index_hits);
+    ("index_misses", s.index_misses);
+    ("counter_updates", s.counter_updates);
+    ("terms_evaluated", s.terms_evaluated);
+    ("conditions_evaluated", s.conditions_evaluated);
+    ("actions_executed", s.actions_executed);
+    ("control_sent", s.control_sent);
+    ("control_received", s.control_received);
+    ("faults_drop", s.faults_drop);
+    ("faults_delay", s.faults_delay);
+    ("faults_reorder", s.faults_reorder);
+    ("faults_dup", s.faults_dup);
+    ("faults_modify", s.faults_modify);
+    ("cascade_overflows", s.cascade_overflows);
+  ]
+
 let initialized t = t.rt <> None
 let started t = match t.rt with Some rt -> rt.started | None -> false
 let my_nid t = Option.map (fun rt -> rt.nid) t.rt
 let set_report_handler t fn = t.report_handler <- fn
+let recorder t = t.obs
+
+let set_observability t ~recorder ~metrics =
+  t.obs <- recorder;
+  (match t.rt with Some rt -> Rec.set_nid recorder rt.nid | None -> ());
+  t.mx <-
+    (if Mx.enabled metrics then
+       Some
+         {
+           mx_cascade_depth =
+             Mx.histogram metrics
+               ~buckets:[| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32 |]
+               "fie.cascade_depth";
+           mx_filters_scanned =
+             Mx.histogram metrics
+               ~buckets:[| 0; 1; 2; 4; 8; 16; 32; 64 |]
+               "fie.filters_scanned_per_packet";
+           mx_delay_occupancy =
+             Mx.histogram metrics "fie.delay_queue_occupancy";
+           mx_reorder_occupancy =
+             Mx.histogram metrics "fie.reorder_queue_occupancy";
+           mx_control_fanout =
+             Mx.histogram metrics
+               ~buckets:[| 0; 1; 2; 4; 8; 16; 32 |]
+               "fie.control_fanout_per_cascade";
+         }
+     else None)
+
+let ctl_of_msg = function
+  | Control.Init _ -> Ev.C_init
+  | Control.Start -> Ev.C_start
+  | Control.Counter_update { cid; value } -> Ev.C_counter_update { cid; value }
+  | Control.Term_status { tid; status } -> Ev.C_term_status { tid; status }
+  | Control.Var_bind { vid; _ } -> Ev.C_var_bind { vid }
+  | Control.Report_stop { nid } -> Ev.C_report_stop { nid }
+  | Control.Report_error { nid; rule } -> Ev.C_report_error { nid; rule }
 
 let last_match_time t =
   match t.rt with Some rt -> rt.last_match | None -> None
@@ -193,6 +267,9 @@ let rec send_control t ~dst_nid msg =
       if dst_nid = rt.nid then process_control t msg
       else begin
         t.stats.control_sent <- t.stats.control_sent + 1;
+        if Rec.enabled t.obs then
+          ignore
+            (Rec.emit t.obs (Ev.Control_sent { dst_nid; ctl = ctl_of_msg msg }));
         let dst = rt.tables.Tables.nodes.(dst_nid).Tables.nmac in
         let frame =
           Control.to_frame ~src:(Vw_stack.Host.mac t.hst) ~dst msg
@@ -204,6 +281,15 @@ and report t report_value =
   match t.rt with
   | None -> ()
   | Some rt ->
+      if Rec.enabled t.obs then begin
+        let body =
+          match report_value with
+          | Stop_report { nid } -> Ev.Report_raised { nid; rule = None }
+          | Error_report { nid; rule } ->
+              Ev.Report_raised { nid; rule = Some rule }
+        in
+        ignore (Rec.emit t.obs body)
+      end;
       let msg =
         match report_value with
         | Stop_report { nid } -> Control.Report_stop { nid }
@@ -214,12 +300,17 @@ and report t report_value =
 
 (* --- action execution --- *)
 
-and execute_action t rt (entry : Tables.action_entry) ~changed =
+and execute_action t rt (entry : Tables.action_entry) ~did ~changed =
   t.stats.actions_executed <- t.stats.actions_executed + 1;
+  if Rec.enabled t.obs then
+    ignore (Rec.emit t.obs (Ev.Action_fired { did; aid = entry.aid }));
   let set_value cid v =
     if rt.counter_values.(cid) <> v then begin
+      let delta = v - rt.counter_values.(cid) in
       rt.counter_values.(cid) <- v;
       t.stats.counter_updates <- t.stats.counter_updates + 1;
+      if Rec.enabled t.obs then
+        ignore (Rec.emit t.obs (Ev.Counter_changed { cid; value = v; delta }));
       ignore (Vw_util.Worklist.add changed cid)
     end
   in
@@ -266,6 +357,7 @@ and cascade t rt ~changed_counters ~changed_terms =
   let module W = Vw_util.Worklist in
   let max_rounds = 100 in
   let round = ref 0 in
+  let ctl_sent_before = t.stats.control_sent in
   (* double-buffered counter worklists: [cur] feeds this round, actions
      fired this round fill [next]; both are owned by the runtime and only
      reset here, so a cascade allocates nothing per round *)
@@ -325,6 +417,8 @@ and cascade t rt ~changed_counters ~changed_terms =
           let status = eval_term rt term in
           if status <> rt.term_status.(tid) then begin
             rt.term_status.(tid) <- status;
+            if Rec.enabled t.obs then
+              ignore (Rec.emit t.obs (Ev.Term_flipped { tid; status }));
             List.iter
               (fun nid ->
                 send_control t ~dst_nid:nid
@@ -343,7 +437,11 @@ and cascade t rt ~changed_counters ~changed_terms =
           let cond = rt.tables.Tables.conds.(did) in
           t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
           let status = eval_expr rt cond.Tables.expr in
-          if status && not rt.cond_status.(did) then risen := did :: !risen;
+          if status && not rt.cond_status.(did) then begin
+            if Rec.enabled t.obs then
+              ignore (Rec.emit t.obs (Ev.Condition_rose { did }));
+            risen := did :: !risen
+          end;
           rt.cond_status.(did) <- status)
         rt.ws_conds;
       (* 4. fire the risen conditions' local actions, in ascending did
@@ -354,7 +452,7 @@ and cascade t rt ~changed_counters ~changed_terms =
           List.iter
             (fun (nid, aid) ->
               if nid = rt.nid then
-                execute_action t rt rt.tables.Tables.actions.(aid)
+                execute_action t rt rt.tables.Tables.actions.(aid) ~did
                   ~changed:!next)
             rt.tables.Tables.conds.(did).Tables.cond_actions)
         (List.rev !risen);
@@ -363,7 +461,12 @@ and cascade t rt ~changed_counters ~changed_terms =
       next := tmp;
       if W.is_empty !cur then continue := false
     end
-  done
+  done;
+  match t.mx with
+  | None -> ()
+  | Some m ->
+      Mx.observe m.mx_cascade_depth !round;
+      Mx.observe m.mx_control_fanout (t.stats.control_sent - ctl_sent_before)
 
 (* --- control-plane receive --- *)
 
@@ -385,7 +488,11 @@ and process_control t msg =
   | Control.Counter_update { cid; value }, Some rt ->
       if cid < Array.length rt.counter_values then begin
         if rt.counter_values.(cid) <> value then begin
+          let delta = value - rt.counter_values.(cid) in
           rt.counter_values.(cid) <- value;
+          if Rec.enabled t.obs then
+            ignore
+              (Rec.emit t.obs (Ev.Counter_changed { cid; value; delta }));
           cascade t rt ~changed_counters:[ cid ] ~changed_terms:[]
         end
       end
@@ -393,6 +500,8 @@ and process_control t msg =
       if tid < Array.length rt.term_status then begin
         if rt.term_status.(tid) <> status then begin
           rt.term_status.(tid) <- status;
+          if Rec.enabled t.obs then
+            ignore (Rec.emit t.obs (Ev.Term_flipped { tid; status }));
           cascade t rt ~changed_counters:[] ~changed_terms:[ tid ]
         end
       end
@@ -575,6 +684,7 @@ and init_local t ~controller_nid tables =
           rt.cond_status.(did) <- eval_expr rt cond.Tables.expr)
         tables.Tables.conds;
       t.rt <- Some rt;
+      Rec.set_nid t.obs nid;
       Ok ()
 
 and start_local t =
@@ -596,7 +706,8 @@ and start_local t =
             List.iter
               (fun (nid, aid) ->
                 if nid = rt.nid then
-                  execute_action t rt rt.tables.Tables.actions.(aid) ~changed)
+                  execute_action t rt rt.tables.Tables.actions.(aid)
+                    ~did:cond.Tables.did ~changed)
               cond.Tables.cond_actions)
         rt.tables.Tables.conds;
       cascade t rt
@@ -610,14 +721,32 @@ let reinject t point frame =
     ~from_priority:Vw_stack.Hook.priority_virtualwire frame
 
 let apply_fault t rt point (frame : Vw_net.Eth.t) (af : armed_fault) =
+  if Rec.enabled t.obs then begin
+    let fault =
+      match af.af_kind with
+      | `Drop -> Ev.Drop
+      | `Delay _ -> Ev.Delay
+      | `Reorder _ -> Ev.Reorder
+      | `Dup -> Ev.Dup
+      | `Modify _ -> Ev.Modify
+    in
+    ignore
+      (Rec.emit t.obs
+         (Ev.Fault_applied { did = af.af_did; aid = af.af_aid; fault }))
+  end;
   match af.af_kind with
   | `Drop ->
       t.stats.faults_drop <- t.stats.faults_drop + 1;
       Vw_stack.Hook.Drop
   | `Delay duration ->
       t.stats.faults_delay <- t.stats.faults_delay + 1;
+      t.delayed_inflight <- t.delayed_inflight + 1;
+      (match t.mx with
+      | Some m -> Mx.observe m.mx_delay_occupancy t.delayed_inflight
+      | None -> ());
       ignore
         (Vw_stack.Host.set_timer t.hst ~delay:duration (fun () ->
+             t.delayed_inflight <- t.delayed_inflight - 1;
              reinject t point frame));
       Vw_stack.Hook.Stolen
   | `Reorder (n, order) ->
@@ -631,6 +760,9 @@ let apply_fault t rt point (frame : Vw_net.Eth.t) (af : armed_fault) =
             q
       in
       Queue.add frame buffer;
+      (match t.mx with
+      | Some m -> Mx.observe m.mx_reorder_occupancy (Queue.length buffer)
+      | None -> ());
       if Queue.length buffer >= n then begin
         let frames = Array.of_seq (Queue.to_seq buffer) in
         Queue.clear buffer;
@@ -710,13 +842,32 @@ let handle_packet t point (frame : Vw_net.Eth.t) =
           ~bindings:rt.bindings frame
       with
       | None ->
-          charge_cost t point
-            ~scanned:(t.cls.Classifier.filters_scanned - scanned_before)
-            ~actions:0
-            (Vw_stack.Hook.Accept frame)
+          let scanned = t.cls.Classifier.filters_scanned - scanned_before in
+          (match t.mx with
+          | Some m -> Mx.observe m.mx_filters_scanned scanned
+          | None -> ());
+          charge_cost t point ~scanned ~actions:0 (Vw_stack.Hook.Accept frame)
       | Some fid ->
           t.stats.packets_matched <- t.stats.packets_matched + 1;
           rt.last_match <- Some (now t);
+          let scanned = t.cls.Classifier.filters_scanned - scanned_before in
+          (match t.mx with
+          | Some m -> Mx.observe m.mx_filters_scanned scanned
+          | None -> ());
+          (* the classification event roots the causal chain for everything
+             this packet triggers, until the verdict is decided *)
+          let recording = Rec.enabled t.obs in
+          let prev_cause = if recording then Rec.cause t.obs else -1 in
+          if recording then begin
+            let obs_point =
+              match point with
+              | Vw_stack.Hook.Ingress -> Ev.Ingress
+              | Vw_stack.Hook.Egress -> Ev.Egress
+            in
+            ignore
+              (Rec.emit_root t.obs
+                 (Ev.Packet_classified { point = obs_point; fid }))
+          end;
           let p = pindex point in
           (* 1. counter updates: only the observers precomputed for this
              (point, fid) *)
@@ -731,6 +882,15 @@ let handle_packet t point (frame : Vw_net.Eth.t) =
                 rt.counter_values.(ob.ob_cid) <-
                   rt.counter_values.(ob.ob_cid) + 1;
                 t.stats.counter_updates <- t.stats.counter_updates + 1;
+                if recording then
+                  ignore
+                    (Rec.emit t.obs
+                       (Ev.Counter_changed
+                          {
+                            cid = ob.ob_cid;
+                            value = rt.counter_values.(ob.ob_cid);
+                            delta = 1;
+                          }));
                 changed := ob.ob_cid :: !changed
               end)
             rt.observing_counters.(p).(fid);
@@ -758,15 +918,26 @@ let handle_packet t point (frame : Vw_net.Eth.t) =
             | Some af -> apply_fault t rt point frame af
             | None -> Vw_stack.Hook.Accept frame
           in
-          charge_cost t point
-            ~scanned:(t.cls.Classifier.filters_scanned - scanned_before)
+          if recording then Rec.set_cause t.obs prev_cause;
+          charge_cost t point ~scanned
             ~actions:(t.stats.actions_executed - actions_before)
             verdict)
 
 let ingress_handler t (frame : Vw_net.Eth.t) =
   if frame.ethertype = Vw_net.Eth.ethertype_vw_control then begin
     (match Control.of_payload frame.payload with
-    | Ok msg -> process_control t msg
+    | Ok msg ->
+        if Rec.enabled t.obs then begin
+          (* a control frame arriving off the wire roots a fresh causal
+             context; stitching to the remote sender's chain happens
+             offline by payload equality *)
+          let prev_cause = Rec.cause t.obs in
+          ignore
+            (Rec.emit_root t.obs (Ev.Control_received { ctl = ctl_of_msg msg }));
+          process_control t msg;
+          Rec.set_cause t.obs prev_cause
+        end
+        else process_control t msg
     | Error e ->
         Log.err (fun m ->
             m "%s: undecodable control frame: %s" (Vw_stack.Host.name t.hst) e));
@@ -791,6 +962,9 @@ let install hst =
       egress_hook = None;
       ingress_hook = None;
       cost = None;
+      obs = Rec.null;
+      mx = None;
+      delayed_inflight = 0;
     }
   in
   t.egress_hook <-

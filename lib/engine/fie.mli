@@ -87,6 +87,27 @@ val started : t -> bool
 val my_nid : t -> int option
 val stats : t -> stats
 
+val stats_fields : stats -> (string * int) list
+(** Every stats field as a [(name, value)] pair, declaration order — the
+    single source for [--stats], the metrics registry export, and tests
+    that assert nothing was forgotten. *)
+
+(** {1 Observability}
+
+    The engine itself allocates no recorder: it starts with
+    {!Vw_obs.Recorder.null} and {!Vw_obs.Metrics.null}-equivalent handles,
+    so an uninstrumented run pays one boolean test per would-be event.
+    [Vw_core.Testbed.enable_observability] wires real sinks in. *)
+
+val recorder : t -> Vw_obs.Recorder.t
+
+val set_observability :
+  t -> recorder:Vw_obs.Recorder.t -> metrics:Vw_obs.Metrics.t -> unit
+(** Install the flight-recorder sink and register this engine's histograms
+    (cascade depth, filters scanned per packet, DELAY/REORDER queue
+    occupancy, control fan-out per cascade) in [metrics]. Call before or
+    after INIT; the recorder learns the node id at INIT either way. *)
+
 val counter_value : t -> string -> int option
 (** This node's view of a counter's value (authoritative for owned
     counters, last-received for remote ones). *)

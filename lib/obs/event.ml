@@ -1,0 +1,179 @@
+type point = Ingress | Egress
+type fault_kind = Drop | Delay | Reorder | Dup | Modify
+
+type ctl =
+  | C_init
+  | C_start
+  | C_counter_update of { cid : int; value : int }
+  | C_term_status of { tid : int; status : bool }
+  | C_var_bind of { vid : int }
+  | C_report_stop of { nid : int }
+  | C_report_error of { nid : int; rule : int }
+
+type body =
+  | Packet_classified of { point : point; fid : int }
+  | Counter_changed of { cid : int; value : int; delta : int }
+  | Term_flipped of { tid : int; status : bool }
+  | Condition_rose of { did : int }
+  | Action_fired of { did : int; aid : int }
+  | Fault_applied of { did : int; aid : int; fault : fault_kind }
+  | Control_sent of { dst_nid : int; ctl : ctl }
+  | Control_received of { ctl : ctl }
+  | Report_raised of { nid : int; rule : int option }
+
+type t = {
+  seq : int;
+  time : Vw_sim.Simtime.t;
+  node : string;
+  nid : int;
+  cause : int;
+  body : body;
+}
+
+let kind_name = function
+  | Packet_classified _ -> "packet_classified"
+  | Counter_changed _ -> "counter_changed"
+  | Term_flipped _ -> "term_flipped"
+  | Condition_rose _ -> "condition_rose"
+  | Action_fired _ -> "action_fired"
+  | Fault_applied _ -> "fault_applied"
+  | Control_sent _ -> "control_sent"
+  | Control_received _ -> "control_received"
+  | Report_raised _ -> "report_raised"
+
+let all_kind_names =
+  [
+    "packet_classified";
+    "counter_changed";
+    "term_flipped";
+    "condition_rose";
+    "action_fired";
+    "fault_applied";
+    "control_sent";
+    "control_received";
+    "report_raised";
+  ]
+
+let point_name = function Ingress -> "ingress" | Egress -> "egress"
+
+let fault_name = function
+  | Drop -> "drop"
+  | Delay -> "delay"
+  | Reorder -> "reorder"
+  | Dup -> "dup"
+  | Modify -> "modify"
+
+let ctl_name = function
+  | C_init -> "init"
+  | C_start -> "start"
+  | C_counter_update _ -> "counter_update"
+  | C_term_status _ -> "term_status"
+  | C_var_bind _ -> "var_bind"
+  | C_report_stop _ -> "report_stop"
+  | C_report_error _ -> "report_error"
+
+(* Two control events carry "the same message" when their decoded payloads
+   agree — how the offline causal stitcher pairs a Control_received with the
+   Control_sent that produced it. *)
+let ctl_equal (a : ctl) (b : ctl) = a = b
+
+(* --- JSONL serialization (schema "vw-events/1") ---
+
+   One JSON object per line; field set depends on "kind". Strings that
+   appear here (node names from FSL scripts, fixed kind tags) contain no
+   characters needing escapes beyond the JSON basics, but escape anyway so
+   the stream stays parseable whatever a script names its nodes. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_ctl_fields b = function
+  | C_init | C_start -> ()
+  | C_counter_update { cid; value } ->
+      Buffer.add_string b (Printf.sprintf ",\"cid\":%d,\"value\":%d" cid value)
+  | C_term_status { tid; status } ->
+      Buffer.add_string b (Printf.sprintf ",\"tid\":%d,\"status\":%b" tid status)
+  | C_var_bind { vid } -> Buffer.add_string b (Printf.sprintf ",\"vid\":%d" vid)
+  | C_report_stop { nid } ->
+      Buffer.add_string b (Printf.sprintf ",\"report_nid\":%d" nid)
+  | C_report_error { nid; rule } ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"report_nid\":%d,\"rule\":%d" nid rule)
+
+let to_json e =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"seq\":%d,\"time_ns\":%d,\"node\":\"%s\",\"nid\":%d,\"cause\":%d,\"kind\":\"%s\""
+       e.seq e.time (json_escape e.node) e.nid e.cause (kind_name e.body));
+  (match e.body with
+  | Packet_classified { point; fid } ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"point\":\"%s\",\"fid\":%d" (point_name point) fid)
+  | Counter_changed { cid; value; delta } ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"cid\":%d,\"value\":%d,\"delta\":%d" cid value delta)
+  | Term_flipped { tid; status } ->
+      Buffer.add_string b (Printf.sprintf ",\"tid\":%d,\"status\":%b" tid status)
+  | Condition_rose { did } -> Buffer.add_string b (Printf.sprintf ",\"did\":%d" did)
+  | Action_fired { did; aid } ->
+      Buffer.add_string b (Printf.sprintf ",\"did\":%d,\"aid\":%d" did aid)
+  | Fault_applied { did; aid; fault } ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"did\":%d,\"aid\":%d,\"fault\":\"%s\"" did aid
+           (fault_name fault))
+  | Control_sent { dst_nid; ctl } ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"dst_nid\":%d,\"ctl\":\"%s\"" dst_nid (ctl_name ctl));
+      add_ctl_fields b ctl
+  | Control_received { ctl } ->
+      Buffer.add_string b (Printf.sprintf ",\"ctl\":\"%s\"" (ctl_name ctl));
+      add_ctl_fields b ctl
+  | Report_raised { nid; rule } -> (
+      Buffer.add_string b (Printf.sprintf ",\"report_nid\":%d" nid);
+      match rule with
+      | Some r -> Buffer.add_string b (Printf.sprintf ",\"rule\":%d" r)
+      | None -> ()));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let pp_body ppf = function
+  | Packet_classified { point; fid } ->
+      Format.fprintf ppf "packet classified (%s, filter %d)" (point_name point)
+        fid
+  | Counter_changed { cid; value; delta } ->
+      Format.fprintf ppf "counter c%d %s%d -> %d" cid
+        (if delta >= 0 then "+" else "")
+        delta value
+  | Term_flipped { tid; status } ->
+      Format.fprintf ppf "term t%d flipped to %b" tid status
+  | Condition_rose { did } -> Format.fprintf ppf "condition d%d rose" did
+  | Action_fired { did; aid } ->
+      Format.fprintf ppf "action a%d fired (condition d%d)" aid did
+  | Fault_applied { did; aid; fault } ->
+      Format.fprintf ppf "fault %s applied (action a%d, condition d%d)"
+        (fault_name fault) aid did
+  | Control_sent { dst_nid; ctl } ->
+      Format.fprintf ppf "control %s sent to n%d" (ctl_name ctl) dst_nid
+  | Control_received { ctl } ->
+      Format.fprintf ppf "control %s received" (ctl_name ctl)
+  | Report_raised { nid; rule } -> (
+      match rule with
+      | Some r -> Format.fprintf ppf "FLAG_ERROR report (n%d, rule %d)" nid r
+      | None -> Format.fprintf ppf "STOP report (n%d)" nid)
+
+let pp ppf e =
+  Format.fprintf ppf "#%-5d %a %-8s %a" e.seq Vw_sim.Simtime.pp e.time e.node
+    pp_body e.body

@@ -1,0 +1,115 @@
+type t = {
+  enabled : bool;
+  capacity : int;
+  node : string;
+  mutable nid : int;
+  clock : unit -> Vw_sim.Simtime.t;
+  seq : int ref; (* shared across every recorder of one run *)
+  mutable buf : Event.t option array; (* circular; grows up to capacity *)
+  mutable start : int; (* index of the oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable cause : int;
+}
+
+let null =
+  {
+    enabled = false;
+    capacity = 0;
+    node = "";
+    nid = -1;
+    clock = (fun () -> Vw_sim.Simtime.zero);
+    seq = ref 0;
+    buf = [||];
+    start = 0;
+    len = 0;
+    dropped = 0;
+    cause = -1;
+  }
+
+let create ?(capacity = 65536) ~node ~clock ~seq () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  {
+    enabled = true;
+    capacity;
+    node;
+    nid = -1;
+    clock;
+    seq;
+    buf = [||];
+    start = 0;
+    len = 0;
+    dropped = 0;
+    cause = -1;
+  }
+
+let enabled t = t.enabled
+let node t = t.node
+let set_nid t nid = t.nid <- nid
+let cause t = t.cause
+let set_cause t c = t.cause <- c
+
+let push t e =
+  if t.len < t.capacity then begin
+    if t.len = Array.length t.buf then begin
+      (* grow geometrically toward capacity; start is 0 until full *)
+      let n = min t.capacity (max 64 (2 * Array.length t.buf)) in
+      let buf = Array.make n None in
+      Array.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end;
+    t.buf.((t.start + t.len) mod Array.length t.buf) <- Some e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* full: overwrite the oldest — the flight recorder keeps the tail *)
+    t.buf.(t.start) <- Some e;
+    t.start <- (t.start + 1) mod Array.length t.buf;
+    t.dropped <- t.dropped + 1
+  end
+
+let emit t body =
+  if not t.enabled then -1
+  else begin
+    let seq = !(t.seq) in
+    t.seq := seq + 1;
+    let cause = if t.cause >= 0 then t.cause else seq in
+    push t
+      { Event.seq; time = t.clock (); node = t.node; nid = t.nid; cause; body };
+    seq
+  end
+
+let emit_root t body =
+  if not t.enabled then -1
+  else begin
+    let seq = !(t.seq) in
+    t.seq := seq + 1;
+    push t
+      {
+        Event.seq;
+        time = t.clock ();
+        node = t.node;
+        nid = t.nid;
+        cause = seq;
+        body;
+      };
+    t.cause <- seq;
+    seq
+  end
+
+let events t =
+  List.init t.len (fun i ->
+      match t.buf.((t.start + i) mod Array.length t.buf) with
+      | Some e -> e
+      | None -> assert false)
+
+let length t = t.len
+let dropped t = t.dropped
+let truncated t = t.dropped > 0
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  t.cause <- -1

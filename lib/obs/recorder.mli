@@ -1,0 +1,65 @@
+(** Per-node flight recorder: a bounded ring buffer of typed {!Event}s.
+
+    One recorder installs per testbed node (see
+    [Vw_core.Testbed.enable_observability]); all recorders of a run share
+    one sequence counter, so merging per-node logs by [seq] recovers the
+    global order in which events were recorded.
+
+    {b Zero cost when disabled.} {!null} is a permanently-disabled no-op
+    sink; the engine guards every emission site with {!enabled}, so an
+    uninstrumented run does exactly one immediate boolean test per would-be
+    event and never constructs the event payload. The [bench micro]
+    recorder on/off ablation keeps this honest.
+
+    {b Causal ids.} The engine marks the root of each processing context —
+    a packet that matched a filter, or a control frame received off the
+    wire — with {!emit_root}; every event emitted until the context ends
+    (via {!set_cause}) carries that root's sequence number as its [cause].
+    Cross-node edges are recovered offline by pairing [Control_received]
+    with the [Control_sent] carrying an equal payload (see
+    [Vw_core.Explain]). *)
+
+type t
+
+val null : t
+(** The disabled sink: {!enabled} is false, {!emit} is a no-op. *)
+
+val create :
+  ?capacity:int ->
+  node:string ->
+  clock:(unit -> Vw_sim.Simtime.t) ->
+  seq:int ref ->
+  unit ->
+  t
+(** [capacity] (default 65536) bounds retained events; beyond it the oldest
+    are overwritten ({!truncated} turns true, {!dropped} counts). [seq] is
+    the run-shared sequence counter. *)
+
+val enabled : t -> bool
+val node : t -> string
+
+val set_nid : t -> int -> unit
+(** Called by the engine at INIT, once the node-table id is known. *)
+
+val emit : t -> Event.body -> int
+(** Record an event under the current cause (or as its own cause if none is
+    set); returns its sequence number, or [-1] when disabled. *)
+
+val emit_root : t -> Event.body -> int
+(** Record a root event (its own cause) and make it the current cause. *)
+
+val cause : t -> int
+(** The current causal context, [-1] when outside any. *)
+
+val set_cause : t -> int -> unit
+(** Restore a saved causal context ([-1] to leave it). *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+val dropped : t -> int
+(** Events overwritten after the ring filled. *)
+
+val truncated : t -> bool
+val clear : t -> unit

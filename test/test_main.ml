@@ -17,6 +17,7 @@ let () =
          Test_integration.suite;
          Test_spec.suite;
          Test_trace.suite;
+         Test_obs.suite;
          Test_suite.suite;
          Test_http.suite;
          Test_arp.suite;

@@ -133,6 +133,113 @@ let test_trace_capacity () =
   check Alcotest.int "cleared" 0 (Trace.length t);
   check Alcotest.bool "flag reset" false (Trace.truncated t)
 
+(* the ring drops the OLDEST entries: after wrap the retained window is the
+   most recent [capacity] frames, still reported oldest-first *)
+let test_trace_wrap_order () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 7 do
+    Trace.record t ~time:(Simtime.ms i) ~node:"a" ~dir:`Out
+      (udp_frame ~sport:i ~dport:2)
+  done;
+  check Alcotest.int "retained" 3 (Trace.length t);
+  check Alcotest.int "dropped oldest four" 4 (Trace.dropped t);
+  check Alcotest.bool "truncated" true (Trace.truncated t);
+  check
+    (Alcotest.list Alcotest.int)
+    "newest three, oldest first"
+    [ Simtime.ms 5; Simtime.ms 6; Simtime.ms 7 ]
+    (List.map (fun e -> e.Trace.time) (Trace.entries t));
+  (* exactly at capacity: nothing dropped, order preserved *)
+  let t2 = Trace.create ~capacity:3 () in
+  for i = 1 to 3 do
+    Trace.record t2 ~time:(Simtime.ms i) ~node:"a" ~dir:`Out
+      (udp_frame ~sport:i ~dport:2)
+  done;
+  check Alcotest.bool "full but not truncated" false (Trace.truncated t2);
+  check
+    (Alcotest.list Alcotest.int)
+    "all three in order"
+    [ Simtime.ms 1; Simtime.ms 2; Simtime.ms 3 ]
+    (List.map (fun e -> e.Trace.time) (Trace.entries t2))
+
+(* [within] when a cause sits at the very end of the trace with no effect
+   after it: the deadline is unmet, not vacuous *)
+let test_within_no_effect_at_end () =
+  let t = Trace.create () in
+  Trace.record t ~time:(Simtime.ms 0) ~node:"a" ~dir:`Out (tcp_frame ~flags:syn);
+  Trace.record t ~time:(Simtime.ms 1) ~node:"b" ~dir:`Out
+    (tcp_frame ~flags:synack);
+  Trace.record t ~time:(Simtime.ms 9) ~node:"a" ~dir:`Out
+    (tcp_frame ~flags:syn);
+  check Alcotest.bool "trailing cause misses its deadline" false
+    (Q.within t ~cause:(Q.where is_syn) ~effect_:(Q.where is_synack)
+       ~window:(Simtime.ms 2));
+  (* no cause at all stays vacuously true *)
+  check Alcotest.bool "no cause is vacuous" true
+    (Q.within t
+       ~cause:(Q.where (Q.rether_opcode 1))
+       ~effect_:(Q.where is_synack) ~window:(Simtime.ms 2))
+
+(* [max_gap] with exactly two matching entries: one gap, returned as-is *)
+let test_max_gap_two_entries () =
+  let t = Trace.create () in
+  Trace.record t ~time:(Simtime.ms 3) ~node:"a" ~dir:`Out
+    (udp_frame ~sport:1 ~dport:2);
+  Trace.record t ~time:(Simtime.ms 11) ~node:"a" ~dir:`Out
+    (udp_frame ~sport:1 ~dport:2);
+  check
+    (Alcotest.option Alcotest.int)
+    "single gap" (Some (Simtime.ms 8))
+    (Q.max_gap t (Q.where is_udp));
+  check (Alcotest.option Alcotest.int) "empty trace" None
+    (Q.max_gap (Trace.create ()) (Q.where is_udp))
+
+(* [never_after] when cause and banned match the SAME entry: "at or after"
+   includes the cause entry itself, so the property is violated *)
+let test_never_after_same_entry () =
+  let t = Trace.create () in
+  Trace.record t ~time:(Simtime.ms 0) ~node:"a" ~dir:`Out
+    (tcp_frame ~flags:syn);
+  check Alcotest.bool "self-match violates" false
+    (Q.never_after t ~cause:(Q.where is_syn) ~banned:(Q.where is_syn));
+  check Alcotest.bool "disjoint banned passes" true
+    (Q.never_after t ~cause:(Q.where is_syn) ~banned:(Q.where is_udp))
+
+(* pcap export: header bytes, record framing, payload round-trip *)
+let test_to_pcap () =
+  let t = sample_trace () in
+  let path = Filename.temp_file "vw_trace" ".pcap" in
+  let oc = open_out_bin path in
+  Trace.to_pcap t oc;
+  close_out oc;
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let u32 off =
+    Char.code data.[off]
+    lor (Char.code data.[off + 1] lsl 8)
+    lor (Char.code data.[off + 2] lsl 16)
+    lor (Char.code data.[off + 3] lsl 24)
+  in
+  let u16 off = Char.code data.[off] lor (Char.code data.[off + 1] lsl 8) in
+  check Alcotest.int "magic (LE)" 0xa1b2c3d4 (u32 0);
+  check Alcotest.int "version" 2 (u16 4);
+  check Alcotest.int "minor" 4 (u16 6);
+  check Alcotest.int "snaplen" 65535 (u32 16);
+  check Alcotest.int "LINKTYPE_ETHERNET" 1 (u32 20);
+  (* walk the records: count them and check the last timestamp (30 ms) *)
+  let rec walk off n last_usec =
+    if off >= String.length data then (n, last_usec)
+    else
+      let incl = u32 (off + 8) in
+      check Alcotest.int "incl = orig" incl (u32 (off + 12));
+      walk (off + 16 + incl) (n + 1) ((u32 off * 1_000_000) + u32 (off + 4))
+  in
+  let n, last_usec = walk 24 0 0 in
+  check Alcotest.int "one record per entry" (Trace.length t) n;
+  check Alcotest.int "last record at 30ms" 30_000 last_usec
+
 let test_trace_pp () =
   let t = sample_trace () in
   let rendered = Format.asprintf "%a" Trace.pp t in
@@ -230,6 +337,15 @@ let suite =
         Alcotest.test_case "within" `Quick test_within;
         Alcotest.test_case "max_gap" `Quick test_max_gap;
         Alcotest.test_case "capacity / clear" `Quick test_trace_capacity;
+        Alcotest.test_case "ring wrap keeps newest, oldest-first" `Quick
+          test_trace_wrap_order;
+        Alcotest.test_case "within: no effect at trace end" `Quick
+          test_within_no_effect_at_end;
+        Alcotest.test_case "max_gap: exactly two entries" `Quick
+          test_max_gap_two_entries;
+        Alcotest.test_case "never_after: cause is banned" `Quick
+          test_never_after_same_entry;
+        Alcotest.test_case "pcap export" `Quick test_to_pcap;
         Alcotest.test_case "pretty printing" `Quick test_trace_pp;
         Alcotest.test_case "offline Figure 6 deadline" `Quick
           test_offline_recovery_deadline;
