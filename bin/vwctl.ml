@@ -8,7 +8,13 @@
      vwctl parse   script.fsl            dump the six tables (Figure 3)
      vwctl run     script.fsl [opts]     build the testbed and run the scenario
      vwctl explain script.fsl --rule N   why did rule N fire (or not)?
+     vwctl cover   script.fsl [opts]     FSL coverage: which rules/filters fired
+     vwctl report  script.fsl [opts]     self-contained HTML run report
      vwctl script  figure5|figure6       print the paper's embedded scripts
+
+   cover and report also work offline from a saved `vwctl run --events`
+   JSONL file (--events FILE), making the vw-events/1 schema a real
+   interchange format.
 
    Wherever a SCRIPT is expected, the embedded names figure5, figure6 and
    quickstart work as well as file paths. *)
@@ -183,45 +189,91 @@ let make_workload kind ~bytes testbed =
         Tcp.on_established conn (fun () -> Tcp.send conn (Bytes.create bytes))
       end
 
+(* workload/run flags shared by run, explain, cover and report *)
+
+let script_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv Tcp_stream
+    & info [ "w"; "workload" ] ~docv:"KIND"
+        ~doc:
+          "Traffic to drive through the testbed: $(b,tcp-stream), \
+           $(b,udp-ping), $(b,rether) (token ring plus a TCP stream), or \
+           $(b,idle).")
+
+let bytes_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "b"; "bytes" ] ~docv:"N"
+        ~doc:"Payload volume for the workload (bytes, or ping count * 64).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "d"; "max-duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated-time budget for the scenario.")
+
+let rll_arg =
+  Arg.(
+    value & flag
+    & info [ "rll" ] ~doc:"Install the Reliable Link Layer on every node.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let default_events_capacity = 65536
+
+let events_capacity_arg =
+  Arg.(
+    value & opt int default_events_capacity
+    & info [ "events-capacity" ] ~docv:"N"
+        ~doc:
+          "Per-node flight-recorder ring capacity. Beyond it the oldest \
+           events are overwritten, which breaks causal chains; a warning is \
+           printed when that happens.")
+
+(* compile SCRIPT's tables, build an observed testbed and run the scenario;
+   the common front half of run/explain/cover/report *)
+let run_live ~tables ~src ~workload ~bytes ~duration ~rll ~capacity =
+  let config =
+    {
+      Testbed.default_config with
+      rll = (if rll then Some Vw_rll.Rll.default_config else None);
+    }
+  in
+  let testbed = Testbed.of_node_table ~config tables in
+  Testbed.enable_observability ~capacity testbed;
+  match
+    Scenario.run testbed ~script:src
+      ~max_duration:(Vw_sim.Simtime.sec duration)
+      ~workload:(make_workload workload ~bytes)
+  with
+  | Error e -> Error e
+  | Ok result -> Ok (testbed, result)
+
+(* a saturated ring silently amputates causal chains — say so *)
+let warn_truncation testbed ~capacity =
+  let truncated = Testbed.events_truncated testbed in
+  if truncated > 0 then
+    Printf.eprintf
+      "warning: %d flight-recorder ring(s) wrapped (%d events dropped); \
+       causal chains and offline analyses may be incomplete — raise \
+       --events-capacity (currently %d)\n\
+       %!"
+      truncated
+      (Testbed.events_dropped testbed)
+      capacity
+
 let run_cmd =
-  let script_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
-  in
-  let workload_arg =
-    Arg.(
-      value
-      & opt workload_conv Tcp_stream
-      & info [ "w"; "workload" ] ~docv:"KIND"
-          ~doc:
-            "Traffic to drive through the testbed: $(b,tcp-stream), \
-             $(b,udp-ping), $(b,rether) (token ring plus a TCP stream), or \
-             $(b,idle).")
-  in
-  let bytes_arg =
-    Arg.(
-      value & opt int 1_000_000
-      & info [ "b"; "bytes" ] ~docv:"N"
-          ~doc:"Payload volume for the workload (bytes, or ping count * 64).")
-  in
-  let duration_arg =
-    Arg.(
-      value & opt float 60.0
-      & info [ "d"; "max-duration" ] ~docv:"SECONDS"
-          ~doc:"Simulated-time budget for the scenario.")
-  in
-  let rll_arg =
-    Arg.(
-      value & flag
-      & info [ "rll" ] ~doc:"Install the Reliable Link Layer on every node.")
-  in
+  let script_arg = script_pos_arg in
   let trace_arg =
     Arg.(
       value & opt int 0
       & info [ "t"; "trace" ] ~docv:"N"
           ~doc:"Print the last $(docv) captured frames after the run.")
-  in
-  let verbose_arg =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
   in
   let counters_arg =
     Arg.(
@@ -273,8 +325,20 @@ let run_cmd =
             "Write the captured trace to $(docv) as a classic libpcap file \
              (LINKTYPE_ETHERNET), readable by tcpdump and wireshark.")
   in
+  let trace_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Write packet-lifecycle spans to $(docv) as Chrome trace-event \
+             JSON, viewable in Perfetto or chrome://tracing (one process \
+             per node, one complete event per causal context, flow arrows \
+             for control hops).")
+  in
   let run script_path workload bytes duration rll trace_n verbose counters
-      show_stats stats_json events_out metrics_out pcap_out =
+      show_stats stats_json events_out metrics_out pcap_out trace_json_out
+      events_capacity =
     setup_logs verbose;
     match load_script script_path with
     | Error e ->
@@ -295,9 +359,10 @@ let run_cmd =
             let testbed = Testbed.of_node_table ~config tables in
             let need_obs =
               show_stats || stats_json || events_out <> None
-              || metrics_out <> None
+              || metrics_out <> None || trace_json_out <> None
             in
-            if need_obs then Testbed.enable_observability testbed;
+            if need_obs then
+              Testbed.enable_observability ~capacity:events_capacity testbed;
             match
               Scenario.run testbed ~script:src
                 ~max_duration:(Vw_sim.Simtime.sec duration)
@@ -377,12 +442,22 @@ let run_cmd =
                       (Testbed.events testbed);
                     close_out oc
                 | None -> ());
+                (match trace_json_out with
+                | Some path ->
+                    let oc = open_out path in
+                    output_string oc
+                      (Vw_report.Spans.to_chrome_json tables
+                         (Testbed.events testbed));
+                    close_out oc
+                | None -> ());
                 (match pcap_out with
                 | Some path ->
                     let oc = open_out_bin path in
                     Trace.to_pcap (Testbed.trace testbed) oc;
                     close_out oc
                 | None -> ());
+                if need_obs then
+                  warn_truncation testbed ~capacity:events_capacity;
                 if trace_n > 0 then begin
                   let entries = Trace.entries (Testbed.trace testbed) in
                   let total = List.length entries in
@@ -404,14 +479,12 @@ let run_cmd =
     Term.(
       const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
       $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg
-      $ stats_json_arg $ events_arg $ metrics_arg $ pcap_arg)
+      $ stats_json_arg $ events_arg $ metrics_arg $ pcap_arg $ trace_json_arg
+      $ events_capacity_arg)
 
 (* --- explain --- *)
 
 let explain_cmd =
-  let script_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT")
-  in
   let rule_arg =
     Arg.(
       required
@@ -421,33 +494,7 @@ let explain_cmd =
             "The rule to explain, counting the script's rules from 0 in \
              source order.")
   in
-  let workload_arg =
-    Arg.(
-      value
-      & opt workload_conv Tcp_stream
-      & info [ "w"; "workload" ] ~docv:"KIND"
-          ~doc:"Traffic to drive through the testbed (as for $(b,run)).")
-  in
-  let bytes_arg =
-    Arg.(
-      value & opt int 1_000_000
-      & info [ "b"; "bytes" ] ~docv:"N" ~doc:"Workload payload volume.")
-  in
-  let duration_arg =
-    Arg.(
-      value & opt float 60.0
-      & info [ "d"; "max-duration" ] ~docv:"SECONDS"
-          ~doc:"Simulated-time budget for the scenario.")
-  in
-  let rll_arg =
-    Arg.(
-      value & flag
-      & info [ "rll" ] ~doc:"Install the Reliable Link Layer on every node.")
-  in
-  let verbose_arg =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
-  in
-  let run script_path rule workload bytes duration rll verbose =
+  let run script_path rule workload bytes duration rll verbose capacity =
     setup_logs verbose;
     match load_script script_path with
     | Error e ->
@@ -466,24 +513,16 @@ let explain_cmd =
               1
             end
             else begin
-              let config =
-                {
-                  Testbed.default_config with
-                  rll = (if rll then Some Vw_rll.Rll.default_config else None);
-                }
-              in
-              let testbed = Testbed.of_node_table ~config tables in
-              Testbed.enable_observability testbed;
               match
-                Scenario.run testbed ~script:src
-                  ~max_duration:(Vw_sim.Simtime.sec duration)
-                  ~workload:(make_workload workload ~bytes)
+                run_live ~tables ~src ~workload ~bytes ~duration ~rll
+                  ~capacity
               with
               | Error e ->
                   Printf.eprintf "error: %s\n" e;
                   1
-              | Ok result ->
+              | Ok (testbed, result) ->
                   Format.printf "%a@." Scenario.pp_result result;
+                  warn_truncation testbed ~capacity;
                   let analysis =
                     Explain.analyze tables (Testbed.events testbed)
                   in
@@ -500,8 +539,189 @@ let explain_cmd =
           chain that made rule $(b,N) fire — or, if it never fired, the \
           furthest pipeline stage its dependencies reached.")
     Term.(
-      const run $ script_arg $ rule_arg $ workload_arg $ bytes_arg
-      $ duration_arg $ rll_arg $ verbose_arg)
+      const run $ script_pos_arg $ rule_arg $ workload_arg $ bytes_arg
+      $ duration_arg $ rll_arg $ verbose_arg $ events_capacity_arg)
+
+(* --- cover / report: the run-analysis layer (lib/report) --- *)
+
+(* events for an analysis command: a saved vw-events/1 JSONL file when
+   --events is given, else a fresh observed run of the scenario *)
+let analysis_events ~tables ~src ~events_in ~workload ~bytes ~duration ~rll
+    ~capacity =
+  match events_in with
+  | Some path ->
+      Result.map
+        (fun (_header, events) -> (events, None))
+        (Vw_report.Events_io.load path)
+  | None -> (
+      match run_live ~tables ~src ~workload ~bytes ~duration ~rll ~capacity with
+      | Error e -> Error e
+      | Ok (testbed, result) ->
+          warn_truncation testbed ~capacity;
+          Ok (Testbed.events testbed, Some (testbed, result)))
+
+let offline_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Analyze the saved vw-events/1 JSON Lines log in $(docv) (written \
+           by $(b,vwctl run --events)) instead of running the scenario.")
+
+let cover_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the coverage report as JSON (schema vw-cover/1).")
+  in
+  let fail_under_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-under" ] ~docv:"PCT"
+          ~doc:
+            "Exit with status 3 when rule coverage (fired rules as a \
+             percentage of all rules) is below $(docv).")
+  in
+  let run script_path events_in json_out fail_under workload bytes duration
+      rll verbose capacity =
+    setup_logs verbose;
+    match load_script script_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok src -> (
+        match Vw_fsl.Compile.parse_and_compile src with
+        | Error e ->
+            Printf.eprintf "%s: %s\n" script_path e;
+            1
+        | Ok tables -> (
+            match
+              analysis_events ~tables ~src ~events_in ~workload ~bytes
+                ~duration ~rll ~capacity
+            with
+            | Error e ->
+                Printf.eprintf "error: %s\n" e;
+                1
+            | Ok (events, _live) -> (
+                let cover = Vw_report.Coverage.analyze tables events in
+                if json_out then
+                  print_string (Vw_report.Coverage.to_json cover)
+                else Format.printf "%a" Vw_report.Coverage.pp cover;
+                let pct = Vw_report.Coverage.coverage_pct cover in
+                match fail_under with
+                | Some threshold when pct < threshold ->
+                    Printf.eprintf
+                      "coverage %.1f%% is below the --fail-under threshold \
+                       %.1f%%\n"
+                      pct threshold;
+                    3
+                | _ -> 0)))
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:
+         "FSL coverage: per rule/filter/counter/term, how often the run \
+          exercised it — and for every never-fired rule, the furthest \
+          pipeline stage its dependencies reached. Reads a saved --events \
+          log or runs the scenario itself.")
+    Term.(
+      const run $ script_pos_arg $ offline_events_arg $ json_arg
+      $ fail_under_arg $ workload_arg $ bytes_arg $ duration_arg $ rll_arg
+      $ verbose_arg $ events_capacity_arg)
+
+let report_cmd =
+  let output_arg =
+    Arg.(
+      value & opt string "vw-report.html"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the HTML report.")
+  in
+  let metrics_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--events): read a saved vw-metrics/1 JSON file for \
+             the histogram section (live runs use the run's own registry).")
+  in
+  let run script_path events_in metrics_in output workload bytes duration rll
+      verbose capacity =
+    setup_logs verbose;
+    match load_script script_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok src -> (
+        match Vw_fsl.Compile.parse_and_compile src with
+        | Error e ->
+            Printf.eprintf "%s: %s\n" script_path e;
+            1
+        | Ok tables -> (
+            match
+              analysis_events ~tables ~src ~events_in ~workload ~bytes
+                ~duration ~rll ~capacity
+            with
+            | Error e ->
+                Printf.eprintf "error: %s\n" e;
+                1
+            | Ok (events, live) -> (
+                let metrics_of_file path =
+                  match
+                    let ic = open_in_bin path in
+                    Fun.protect
+                      ~finally:(fun () -> close_in_noerr ic)
+                      (fun () ->
+                        really_input_string ic (in_channel_length ic))
+                  with
+                  | src -> Vw_report.Metrics_view.of_json src
+                  | exception Sys_error e -> Error e
+                in
+                let metrics =
+                  match (live, metrics_in) with
+                  | Some (testbed, _), _ ->
+                      Option.map Vw_report.Metrics_view.of_registry
+                        (Testbed.metrics testbed)
+                  | None, Some path -> (
+                      match metrics_of_file path with
+                      | Ok mv -> Some mv
+                      | Error e ->
+                          Printf.eprintf "warning: --metrics %s: %s\n" path e;
+                          None)
+                  | None, None -> None
+                in
+                let result = Option.map snd live in
+                let html =
+                  Vw_report.Html_report.render ~tables ~events ?metrics
+                    ?result ()
+                in
+                match
+                  let oc = open_out output in
+                  output_string oc html;
+                  close_out oc
+                with
+                | () ->
+                    Printf.printf "wrote %s (%d events analyzed)\n" output
+                      (List.length events);
+                    0
+                | exception Sys_error e ->
+                    Printf.eprintf "error: %s\n" e;
+                    1)))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Write a self-contained HTML run report: coverage table, per-node \
+          event timeline, metrics histograms as inline SVG, and every \
+          FLAG_ERROR with its reconstructed causal chain. Reads a saved \
+          --events log or runs the scenario itself.")
+    Term.(
+      const run $ script_pos_arg $ offline_events_arg $ metrics_in_arg
+      $ output_arg $ workload_arg $ bytes_arg $ duration_arg $ rll_arg
+      $ verbose_arg $ events_capacity_arg)
 
 (* --- suite --- *)
 
@@ -632,4 +852,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; parse_cmd; run_cmd; explain_cmd; suite_cmd; script_cmd ]))
+          [
+            check_cmd;
+            parse_cmd;
+            run_cmd;
+            explain_cmd;
+            cover_cmd;
+            report_cmd;
+            suite_cmd;
+            script_cmd;
+          ]))

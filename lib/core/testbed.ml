@@ -202,6 +202,14 @@ let events_dropped t =
         (fun acc (_, r) -> acc + Vw_obs.Recorder.dropped r)
         0 o.obs_recorders
 
+let events_truncated t =
+  match t.obs with
+  | None -> 0
+  | Some o ->
+      List.fold_left
+        (fun acc (_, r) -> acc + if Vw_obs.Recorder.truncated r then 1 else 0)
+        0 o.obs_recorders
+
 let metrics t =
   match t.obs with
   | None -> None
@@ -243,4 +251,7 @@ let metrics t =
       Vw_obs.Metrics.set
         (Vw_obs.Metrics.counter mx "obs.events_dropped")
         (events_dropped t);
+      Vw_obs.Metrics.set
+        (Vw_obs.Metrics.counter mx "obs.events_truncated")
+        (events_truncated t);
       Some mx

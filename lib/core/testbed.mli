@@ -90,6 +90,12 @@ val events_recorded : t -> int
 
 val events_dropped : t -> int
 
+val events_truncated : t -> int
+(** How many node rings wrapped (i.e. have [Recorder.truncated] set). A
+    non-zero value means [events] is a suffix of the run and [Explain]
+    chains may miss their roots; raise the ring capacity
+    ([enable_observability ~capacity], [vwctl run --events-capacity]). *)
+
 val metrics : t -> Vw_obs.Metrics.t option
 (** The run's registry, with every engine's [stats] freshly exported into
     it: [node.<name>.<field>] per node plus [engine.<field>] totals,

@@ -1,0 +1,23 @@
+(** Read a saved [vw-events/1] JSON Lines stream back into typed
+    {!Vw_obs.Event.t}s, making the file format a real interchange format:
+    every analysis in this library ({!Coverage}, {!Spans}, {!Html_report})
+    accepts a log loaded here exactly as it accepts [Testbed.events] from a
+    live run. *)
+
+type header = {
+  scenario : string;
+  recorded : int;  (** events emitted during the run (retained + dropped) *)
+  dropped : int;  (** events overwritten by ring wrap-around *)
+}
+
+val parse_event : Json.t -> (Vw_obs.Event.t, string) result
+(** Decode one event object (any line after the header). *)
+
+val of_string : string -> (header option * Vw_obs.Event.t list, string) result
+(** Parse a whole JSONL document. A leading header object (the one carrying
+    ["schema"]) is returned separately; a header with a schema other than
+    [vw-events/1] is an error, as is any undecodable line. Blank lines are
+    skipped. Events are returned sorted by [seq]. *)
+
+val load : string -> (header option * Vw_obs.Event.t list, string) result
+(** [of_string] over a file's contents; I/O errors become [Error]. *)

@@ -1,0 +1,20 @@
+(** The deliverable of a fault campaign as one self-contained HTML file: the
+    FSL coverage table ({!Coverage}), a per-node event timeline, the
+    metrics histograms as inline SVG bars, and every [Report_raised] /
+    FLAG_ERROR with its causal chain reconstructed by [Vw_core.Explain].
+
+    The output embeds everything — styles and SVG inline, zero external
+    resources — so the file can be attached to a bug report or archived
+    next to the [--events] log it was built from. *)
+
+val render :
+  tables:Vw_fsl.Tables.t ->
+  events:Vw_obs.Event.t list ->
+  ?metrics:Metrics_view.t ->
+  ?result:Vw_core.Scenario.result ->
+  ?title:string ->
+  unit ->
+  string
+(** [result] adds the live run's outcome line (offline reports omit it);
+    [metrics] adds the histogram section; [title] defaults to the
+    scenario name from [tables]. *)

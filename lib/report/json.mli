@@ -1,0 +1,39 @@
+(** A minimal JSON reader, just enough to make the tool's own output
+    schemas ([vw-events/1], [vw-metrics/1], [vw-bench-micro/1], the Chrome
+    trace-event format) first-class {e inputs}: the run-analysis layer can
+    consume a saved [--events] file exactly as it consumes a live recorder.
+
+    Self-contained on purpose — the repository carries no JSON dependency,
+    and the subset here (objects, arrays, strings with escapes, ints,
+    floats, booleans, null) is the whole of what those schemas use. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; the error carries a byte offset. Trailing
+    whitespace is allowed, trailing garbage is not. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+(** {1 Accessors} — total lookups returning [option] *)
+
+val mem : string -> t -> t option
+(** Object member; [None] on missing key or non-object. *)
+
+val to_int : t -> int option
+(** [Int] directly; a [Float] with integral value also converts. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val obj_keys : t -> string list
+(** Keys of an object in source order, [[]] for non-objects. *)

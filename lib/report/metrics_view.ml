@@ -1,0 +1,95 @@
+module Mx = Vw_obs.Metrics
+
+type hist = {
+  bounds : int array;
+  counts : int array;
+  total : int;
+  sum : int;
+  max_observed : int;
+}
+
+type t = { counters : (string * int) list; histograms : (string * hist) list }
+
+let of_registry mx =
+  {
+    counters = Mx.counters mx;
+    histograms =
+      List.map
+        (fun (name, h) ->
+          let bounds, counts = Mx.bucket_counts h in
+          ( name,
+            {
+              bounds;
+              counts;
+              total = Mx.total h;
+              sum = Mx.sum h;
+              max_observed = Mx.max_observed h;
+            } ))
+        (Mx.histograms mx);
+  }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let int_array_of j =
+  match Json.to_list j with
+  | None -> Error "expected an array"
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | x :: rest -> (
+            match Json.to_int x with
+            | Some i -> go (i :: acc) rest
+            | None -> Error "expected an integer")
+      in
+      go [] items
+
+let of_json src =
+  let* j = Json.parse src in
+  match Option.bind (Json.mem "schema" j) Json.to_string with
+  | Some "vw-metrics/1" ->
+      let counters =
+        match Json.mem "counters" j with
+        | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int v))
+              kvs
+        | _ -> []
+      in
+      let* histograms =
+        match Json.mem "histograms" j with
+        | Some (Json.Obj kvs) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (name, h) :: rest ->
+                  let* bounds =
+                    match Json.mem "bounds" h with
+                    | Some a -> int_array_of a
+                    | None -> Error (name ^ ": missing bounds")
+                  in
+                  let* counts =
+                    match Json.mem "counts" h with
+                    | Some a -> int_array_of a
+                    | None -> Error (name ^ ": missing counts")
+                  in
+                  let get k =
+                    Option.value ~default:0
+                      (Option.bind (Json.mem k h) Json.to_int)
+                  in
+                  go
+                    (( name,
+                       {
+                         bounds;
+                         counts;
+                         total = get "total";
+                         sum = get "sum";
+                         max_observed = get "max";
+                       } )
+                    :: acc)
+                    rest
+            in
+            go [] kvs
+        | _ -> Ok []
+      in
+      Ok { counters; histograms }
+  | Some s -> Error (Printf.sprintf "unsupported schema %S (want vw-metrics/1)" s)
+  | None -> Error "missing schema tag"

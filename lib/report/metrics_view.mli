@@ -1,0 +1,19 @@
+(** A read-only snapshot of a metrics registry, constructible from a live
+    {!Vw_obs.Metrics.t} or from a saved [vw-metrics/1] JSON file — so the
+    HTML report can render histograms in both the live and offline paths. *)
+
+type hist = {
+  bounds : int array;  (** inclusive upper bounds, ascending *)
+  counts : int array;  (** one trailing overflow bucket *)
+  total : int;
+  sum : int;
+  max_observed : int;
+}
+
+type t = { counters : (string * int) list; histograms : (string * hist) list }
+
+val of_registry : Vw_obs.Metrics.t -> t
+
+val of_json : string -> (t, string) result
+(** Parse a [vw-metrics/1] document (the output of [Metrics.to_json] /
+    [vwctl run --metrics]). *)

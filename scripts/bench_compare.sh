@@ -1,0 +1,105 @@
+#!/bin/sh
+# bench_compare.sh OLD.json NEW.json
+#
+# Compare two `vwctl bench micro --json` (vw-bench-micro/1) outputs and
+# fail when any lower-is-better metric regressed by more than
+# BENCH_COMPARE_THRESHOLD percent (default 20).
+#
+# Only metrics present in BOTH files are compared, so adding or removing
+# a benchmark never fails the gate — only a shared metric getting slower
+# does. Exit status: 0 ok, 1 regression(s), 2 usage/parse error.
+set -eu
+
+THRESHOLD="${BENCH_COMPARE_THRESHOLD:-20}"
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 OLD.json NEW.json" >&2
+  exit 2
+fi
+OLD="$1"
+NEW="$2"
+for f in "$OLD" "$NEW"; do
+  if [ ! -r "$f" ]; then
+    echo "bench_compare: cannot read $f" >&2
+    exit 2
+  fi
+  schema=$(jq -r '.schema // empty' "$f") || exit 2
+  if [ "$schema" != "vw-bench-micro/1" ]; then
+    echo "bench_compare: $f: expected schema vw-bench-micro/1, got '${schema:-none}'" >&2
+    exit 2
+  fi
+done
+
+# Flatten the lower-is-better metrics (all in nanoseconds) to "key value"
+# lines. Throughput numbers (packets_per_sec) are deliberately skipped:
+# their inverse ns_per_packet is already covered.
+flatten() {
+  jq -r '
+    [ (.classify_ns // {} | to_entries[]
+       | { key: ("classify_ns." + .key), value: .value }),
+      (.pipeline // {} | to_entries[]
+       | select(.value | type == "object" and has("ns_per_packet"))
+       | { key: ("pipeline." + .key + ".ns_per_packet"),
+           value: .value.ns_per_packet }),
+      (if (.pipeline.cascade_ns_per_packet? // empty) != "" then
+         { key: "pipeline.cascade_ns_per_packet",
+           value: .pipeline.cascade_ns_per_packet }
+       else empty end),
+      (.obs_ablation // {} | to_entries[]
+       | select(.value | type == "object" and has("ns_per_packet"))
+       | { key: ("obs_ablation." + .key + ".ns_per_packet"),
+           value: .value.ns_per_packet }),
+      (if (.obs_ablation.recording_ns_per_packet? // empty) != "" then
+         { key: "obs_ablation.recording_ns_per_packet",
+           value: .obs_ablation.recording_ns_per_packet }
+       else empty end)
+    ]
+    | .[] | select(.value != null) | "\(.key) \(.value)"
+  ' "$1"
+}
+
+old_flat=$(mktemp)
+new_flat=$(mktemp)
+trap 'rm -f "$old_flat" "$new_flat"' EXIT
+flatten "$OLD" | sort > "$old_flat"
+flatten "$NEW" | sort > "$new_flat"
+
+status=0
+compared=0
+while read -r key old_val; do
+  new_val=$(awk -v k="$key" '$1 == k { print $2 }' "$new_flat")
+  [ -n "$new_val" ] || continue
+  compared=$((compared + 1))
+  verdict=$(awk -v o="$old_val" -v n="$new_val" -v t="$THRESHOLD" 'BEGIN {
+    if (o <= 0) { print "skip 0"; exit }
+    pct = (n - o) / o * 100.0
+    printf "%s %+.1f", (pct > t) ? "REGRESSED" : "ok", pct
+  }')
+  word=${verdict%% *}
+  pct=${verdict#* }
+  case "$word" in
+  REGRESSED)
+    printf 'REGRESSED  %-45s %12s -> %12s ns  (%s%%)\n' \
+      "$key" "$old_val" "$new_val" "$pct"
+    status=1
+    ;;
+  ok)
+    printf 'ok         %-45s %12s -> %12s ns  (%s%%)\n' \
+      "$key" "$old_val" "$new_val" "$pct"
+    ;;
+  skip)
+    printf 'skip       %-45s old value is zero\n' "$key"
+    ;;
+  esac
+done < "$old_flat"
+
+if [ "$compared" -eq 0 ]; then
+  echo "bench_compare: no shared metrics between $OLD and $NEW" >&2
+  exit 2
+fi
+if [ "$status" -ne 0 ]; then
+  echo "bench_compare: regression(s) above ${THRESHOLD}% threshold" >&2
+else
+  echo "bench_compare: $compared shared metrics within ${THRESHOLD}%"
+fi
+exit "$status"

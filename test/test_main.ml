@@ -18,6 +18,7 @@ let () =
          Test_spec.suite;
          Test_trace.suite;
          Test_obs.suite;
+         Test_report.suite;
          Test_suite.suite;
          Test_http.suite;
          Test_arp.suite;

@@ -411,6 +411,42 @@ let test_explain_cross_node () =
       check Alcotest.bool "report shows the hop" true
         (has "crosses the wire")
 
+let test_explain_ambiguous_sender () =
+  (* two Control_sent frames carry structurally equal payloads; the
+     stitcher must pick the nearest preceding send, not the first *)
+  let tables = compile cross_node_script in
+  let deps = Explain.rule_deps tables ~rule:1 in
+  let did = List.hd deps.Explain.dids in
+  let ctl = Ev.C_term_status { tid = 0; status = true } in
+  let ev seq ~ms ~node ~nid ~cause body =
+    {
+      Ev.seq;
+      time = Vw_sim.Simtime.ms ms;
+      node;
+      nid;
+      cause;
+      body;
+    }
+  in
+  let events =
+    [
+      ev 0 ~ms:1 ~node:"bob" ~nid:1 ~cause:0
+        (Ev.Control_sent { dst_nid = 0; ctl });
+      ev 1 ~ms:2 ~node:"bob" ~nid:1 ~cause:1
+        (Ev.Control_sent { dst_nid = 0; ctl });
+      ev 2 ~ms:3 ~node:"alice" ~nid:0 ~cause:2 (Ev.Control_received { ctl });
+      ev 3 ~ms:3 ~node:"alice" ~nid:0 ~cause:2 (Ev.Condition_rose { did });
+    ]
+  in
+  let analysis = Explain.analyze tables events in
+  match Explain.explain analysis ~rule:1 with
+  | Explain.Not_fired _ -> Alcotest.fail "synthetic rise should count as fired"
+  | Explain.Fired { chain; _ } ->
+      check Alcotest.bool "chain crosses the wire" true
+        (List.length chain >= 2);
+      let sender = List.hd (List.hd chain) in
+      check Alcotest.int "nearest preceding send wins" 1 sender.Ev.seq
+
 let test_explain_bad_rule () =
   let tables = compile Vw_scripts.udp_drop_dup in
   check Alcotest.int "quickstart has 3 rules" 3 (Explain.num_rules tables);
@@ -450,6 +486,8 @@ let suite =
           test_explain_furthest_stage;
         Alcotest.test_case "cross-node chain stitching" `Quick
           test_explain_cross_node;
+        Alcotest.test_case "ambiguous sender: nearest send wins" `Quick
+          test_explain_ambiguous_sender;
         Alcotest.test_case "rule bounds" `Quick test_explain_bad_rule;
       ] );
   ]
