@@ -10,6 +10,7 @@
      vwctl explain script.fsl --rule N   why did rule N fire (or not)?
      vwctl cover   script.fsl [opts]     FSL coverage: which rules/filters fired
      vwctl report  script.fsl [opts]     self-contained HTML run report
+     vwctl fuzz    [--runs N --seed S]   property-based scenario fuzzing
      vwctl script  figure5|figure6       print the paper's embedded scripts
 
    cover and report also work offline from a saved `vwctl run --events`
@@ -825,6 +826,102 @@ let suite_cmd =
           Scripts choose their workload with '# vwctl:' directive comments.")
     Term.(const run $ dir_arg $ stop_arg)
 
+(* --- fuzz: the property-based scenario fuzzer (lib/check) --- *)
+
+let fuzz_cmd =
+  let runs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of generated cases to run.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed; case $(i,i) uses seed S+i. Defaults to \\$VW_SEED, \
+             else 42.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "On failure, delta-debug the case to a minimal script + \
+             schedule that still fails the same oracle.")
+  in
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-failing" ] ~docv:"DIR"
+          ~doc:
+            "Write the failing case (and its minimized form) as replayable \
+             .fsl files into $(docv).")
+  in
+  let defect_arg =
+    let parse s =
+      match Vw_check.Oracles.defect_of_string s with
+      | Ok d -> Ok d
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf d =
+      Format.pp_print_string ppf (Vw_check.Oracles.defect_to_string d)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Vw_check.Oracles.No_defect
+      & info [ "defect" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Deliberately sabotage one invariant (self-check that the \
+                oracles catch it): %s."
+               (String.concat ", " Vw_check.Oracles.defect_names)))
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-run one saved reproducer (a file printed by a failing fuzz \
+             run or written by --save-failing) instead of generating cases.")
+  in
+  let run runs seed shrink save_failing defect replay =
+    match replay with
+    | Some path -> (
+        match Vw_check.Fuzz.replay ~defect ~shrink path with
+        | Ok summary -> Vw_check.Fuzz.exit_code summary
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            1)
+    | None ->
+        let seed =
+          match seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
+        in
+        let cfg =
+          {
+            Vw_check.Fuzz.default_config with
+            runs;
+            seed;
+            shrink;
+            save_failing;
+            defect;
+          }
+        in
+        Vw_check.Fuzz.exit_code (Vw_check.Fuzz.execute cfg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based scenario fuzzing: generate seeded well-typed FSL \
+          scripts plus traffic schedules, execute them on the deterministic \
+          simulator, and check differential oracles (indexed vs linear \
+          classifier, codec and event-log round-trips, live vs offline \
+          coverage, counter/report/term cascade invariants). Exit 0 when \
+          clean, 2 on an oracle failure.")
+    Term.(
+      const run $ runs_arg $ seed_arg $ shrink_arg $ save_arg $ defect_arg
+      $ replay_arg)
+
 (* --- script --- *)
 
 let script_cmd =
@@ -860,5 +957,6 @@ let () =
             cover_cmd;
             report_cmd;
             suite_cmd;
+            fuzz_cmd;
             script_cmd;
           ]))

@@ -1,0 +1,210 @@
+module Scenario = Vw_core.Scenario
+
+type config = {
+  runs : int;
+  seed : int;
+  shrink : bool;
+  save_failing : string option;
+  defect : Oracles.defect;
+  progress_every : int;
+}
+
+let default_config =
+  {
+    runs = 200;
+    seed = Vw_util.Prng.run_seed ();
+    shrink = false;
+    save_failing = None;
+    defect = Oracles.No_defect;
+    progress_every = 50;
+  }
+
+type found = {
+  run_index : int;
+  case_seed : int;
+  case : Gen.case;
+  failure : Oracles.failure;
+  minimized : Gen.case option;
+  shrink_runs : int;
+}
+
+type summary = { runs_done : int; found : found option }
+
+type tally = {
+  mutable stopped : int;
+  mutable timed_out : int;
+  mutable ran_to_limit : int;
+  mutable with_errors : int;
+  mutable truncated : int;
+}
+
+let record_outcome tally (o : Runner.outcome) =
+  (match o.Runner.o_result with
+  | Ok r -> (
+      if r.Scenario.errors <> [] then tally.with_errors <- tally.with_errors + 1;
+      match r.Scenario.outcome with
+      | Scenario.Stopped -> tally.stopped <- tally.stopped + 1
+      | Scenario.Timed_out -> tally.timed_out <- tally.timed_out + 1
+      | Scenario.Ran_to_limit -> tally.ran_to_limit <- tally.ran_to_limit + 1)
+  | Error _ -> ());
+  if o.Runner.o_truncated then tally.truncated <- tally.truncated + 1
+
+let save_reproducer dir ~case ~minimized =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc;
+    Filename.concat dir name
+  in
+  let orig = write (Printf.sprintf "case-%d.fsl" case.Gen.seed) (Gen.to_fsl case) in
+  let min_file =
+    Option.map
+      (fun m -> write (Printf.sprintf "case-%d-min.fsl" case.Gen.seed) (Gen.to_fsl m))
+      minimized
+  in
+  (orig, min_file)
+
+let run_one ~defect case =
+  match Runner.run case with
+  | Error e ->
+      ( None,
+        Some
+          {
+            Oracles.oracle = "generates_valid";
+            detail = Printf.sprintf "generated script rejected: %s" e;
+          } )
+  | Ok o -> (Some o, Oracles.check ~defect o)
+
+let report_failure ppf cfg f =
+  Format.fprintf ppf "@.FAILURE at run %d (case seed %d)@." f.run_index
+    f.case_seed;
+  Format.fprintf ppf "oracle: %s@.detail: %s@." f.failure.Oracles.oracle
+    f.failure.Oracles.detail;
+  let defect_flag =
+    match cfg.defect with
+    | Oracles.No_defect -> ""
+    | d -> Printf.sprintf " --defect %s" (Oracles.defect_to_string d)
+  in
+  Format.fprintf ppf "replay: vwctl fuzz --runs 1 --seed %d%s@." f.case_seed
+    defect_flag;
+  Format.fprintf ppf "--- failing case (size %d) ---@.%s" (Gen.size f.case)
+    (Gen.to_fsl f.case);
+  (match f.minimized with
+  | Some m ->
+      Format.fprintf ppf "--- minimized (size %d, %d shrink runs) ---@.%s"
+        (Gen.size m) f.shrink_runs (Gen.to_fsl m)
+  | None -> ());
+  (match cfg.save_failing with
+  | Some dir ->
+      let orig, min_file =
+        save_reproducer dir ~case:f.case ~minimized:f.minimized
+      in
+      Format.fprintf ppf "saved: %s%s@." orig
+        (match min_file with Some p -> " and " ^ p | None -> "")
+  | None -> ());
+  Format.pp_print_flush ppf ()
+
+let execute ?(ppf = Format.std_formatter) cfg =
+  let tally =
+    { stopped = 0; timed_out = 0; ran_to_limit = 0; with_errors = 0; truncated = 0 }
+  in
+  Format.fprintf ppf "fuzz: %d runs from seed %d, defect %s, shrink %s@."
+    cfg.runs cfg.seed
+    (Oracles.defect_to_string cfg.defect)
+    (if cfg.shrink then "on" else "off");
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < cfg.runs do
+    let case_seed = (cfg.seed + !i) land max_int in
+    let case = Gen.generate ~seed:case_seed in
+    let outcome, failure = run_one ~defect:cfg.defect case in
+    Option.iter (record_outcome tally) outcome;
+    (match failure with
+    | Some failure ->
+        let minimized, shrink_runs =
+          if cfg.shrink then
+            let m, spent =
+              Shrink.minimize ~defect:cfg.defect
+                ~oracle:failure.Oracles.oracle case
+            in
+            ((if Gen.size m < Gen.size case then Some m else None), spent)
+          else (None, 0)
+        in
+        found :=
+          Some
+            {
+              run_index = !i;
+              case_seed;
+              case;
+              failure;
+              minimized;
+              shrink_runs;
+            }
+    | None ->
+        if
+          cfg.progress_every > 0
+          && (!i + 1) mod cfg.progress_every = 0
+        then Format.fprintf ppf "  %d/%d ok@." (!i + 1) cfg.runs);
+    incr i
+  done;
+  let runs_done = !i in
+  (match !found with
+  | Some f -> report_failure ppf cfg f
+  | None ->
+      Format.fprintf ppf
+        "no failures in %d runs (stopped %d, timed_out %d, ran_to_limit %d, \
+         with_errors %d, truncated %d)@."
+        runs_done tally.stopped tally.timed_out tally.ran_to_limit
+        tally.with_errors tally.truncated);
+  Format.pp_print_flush ppf ();
+  { runs_done; found = !found }
+
+let replay ?(ppf = Format.std_formatter) ~defect ~shrink path =
+  match
+    try Ok (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error e -> Error e
+  with
+  | Error e -> Error e
+  | Ok text -> (
+      match Gen.of_fsl text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok case ->
+          let cfg =
+            { default_config with runs = 1; seed = case.Gen.seed; shrink; defect }
+          in
+          Format.fprintf ppf "replaying %s (case seed %d)@." path case.Gen.seed;
+          let _, failure = run_one ~defect case in
+          let summary =
+            match failure with
+            | None ->
+                Format.fprintf ppf "replay: all oracles hold@.";
+                { runs_done = 1; found = None }
+            | Some failure ->
+                let minimized, shrink_runs =
+                  if shrink then
+                    let m, spent =
+                      Shrink.minimize ~defect ~oracle:failure.Oracles.oracle
+                        case
+                    in
+                    ( (if Gen.size m < Gen.size case then Some m else None),
+                      spent )
+                  else (None, 0)
+                in
+                let f =
+                  {
+                    run_index = 0;
+                    case_seed = case.Gen.seed;
+                    case;
+                    failure;
+                    minimized;
+                    shrink_runs;
+                  }
+                in
+                report_failure ppf cfg f;
+                { runs_done = 1; found = Some f }
+          in
+          Format.pp_print_flush ppf ();
+          Ok summary)
+
+let exit_code s = match s.found with None -> 0 | Some _ -> 2

@@ -1,0 +1,47 @@
+(** The fuzz campaign driver behind [vwctl fuzz].
+
+    Run [runs] generated cases (case [i] uses seed [seed + i]), stop at the
+    first oracle failure, optionally shrink it, and print a deterministic
+    report: same configuration, byte-for-byte same output — the property CI
+    checks by diffing two invocations. *)
+
+type config = {
+  runs : int;
+  seed : int;
+  shrink : bool;
+  save_failing : string option;  (** directory for reproducer files *)
+  defect : Oracles.defect;
+  progress_every : int;  (** 0 silences progress lines *)
+}
+
+val default_config : config
+(** 200 runs, seed {!Vw_util.Prng.run_seed}, no shrinking, no defect,
+    progress every 50 runs. *)
+
+type found = {
+  run_index : int;
+  case_seed : int;
+  case : Gen.case;
+  failure : Oracles.failure;
+  minimized : Gen.case option;
+  shrink_runs : int;
+}
+
+type summary = { runs_done : int; found : found option }
+
+val execute : ?ppf:Format.formatter -> config -> summary
+(** Runs the campaign, printing progress, the final tally and (on failure)
+    the replayable original and minimized scripts to [ppf] (default
+    [Format.std_formatter]). *)
+
+val replay :
+  ?ppf:Format.formatter ->
+  defect:Oracles.defect ->
+  shrink:bool ->
+  string ->
+  (summary, string) result
+(** [replay path] re-runs one saved reproducer file ({!Gen.to_fsl}
+    format). *)
+
+val exit_code : summary -> int
+(** 0 when no failure was found, 2 otherwise. *)

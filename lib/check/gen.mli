@@ -1,0 +1,47 @@
+(** Seeded generation of well-typed FSL scripts plus traffic schedules.
+
+    A {!case} is everything needed to reproduce one fuzz run: a script AST
+    covering the whole action vocabulary of Tables I/II (counters, nested
+    conditions, every fault primitive, FAIL/STOP/FLAG_ERROR, BIND_VAR), a
+    set of UDP packet kinds the filters are written against, and a send
+    schedule. Generation is a pure function of the seed; the serialized
+    form ({!to_fsl}) is plain FSL with [# vw-fuzz:] header comments, so a
+    failing case replays through the stock parser and [vwctl fuzz
+    --replay]. *)
+
+type send = {
+  at_ms : int;  (** offset after the workload starts *)
+  src : int;  (** node index *)
+  dst : int;  (** node index, [<> src] *)
+  kind : int;  (** packet kind index *)
+  len : int;  (** UDP payload length *)
+}
+
+type case = {
+  seed : int;
+  script : Vw_fsl.Ast.script;
+  kinds : (int * int) array;  (** kind -> (sport, dport) *)
+  sends : send list;
+  max_ms : int;  (** scenario wall limit *)
+}
+
+val generate : seed:int -> case
+(** Deterministic: equal seeds yield structurally equal cases. The script
+    always parses and compiles (checked by the [generates_valid] oracle). *)
+
+val payload : kind:int -> len:int -> bytes
+(** The UDP payload a send of this kind/length carries — deterministic so
+    filters can (sometimes) match payload bytes. *)
+
+val to_fsl : case -> string
+(** Replayable form: [# vw-fuzz:] metadata comments followed by the script
+    in concrete FSL syntax. *)
+
+val of_fsl : string -> (case, string) result
+(** Parse {!to_fsl} output (metadata comments + FSL). *)
+
+val size : case -> int
+(** Shrinking metric: rules + actions + filters + counters + nodes +
+    sends. *)
+
+val pp : Format.formatter -> case -> unit

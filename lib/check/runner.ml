@@ -1,0 +1,107 @@
+module Testbed = Vw_core.Testbed
+module Scenario = Vw_core.Scenario
+module Simtime = Vw_sim.Simtime
+
+type node_state = {
+  ns_name : string;
+  ns_failed : bool;
+  ns_counters : (string * int * bool) list;
+  ns_terms : bool option array;
+}
+
+type outcome = {
+  o_case : Gen.case;
+  o_tables : Vw_fsl.Tables.t;
+  o_result : (Vw_core.Scenario.result, string) result;
+  o_events : Vw_obs.Event.t list;
+  o_truncated : bool;
+  o_drained : bool;
+  o_trace : Vw_core.Trace.entry list;
+  o_nodes : node_state list;
+}
+
+(* Cap on post-run drain steps: a scenario's inactivity watchdog can keep
+   rescheduling itself forever, so quiescence is not guaranteed. *)
+let drain_cap = 200_000
+
+let workload (c : Gen.case) testbed =
+  let nodes = Array.of_list (Testbed.nodes testbed) in
+  (* Every kind's destination port listens on every node (sends go in any
+     direction); the receiver just swallows the datagram. *)
+  Array.iter
+    (fun node ->
+      let host = Testbed.host node in
+      Array.iter
+        (fun (_sp, dp) ->
+          Vw_stack.Host.udp_bind host ~port:dp (fun ~src:_ ~src_port:_ _ -> ()))
+        c.Gen.kinds)
+    nodes;
+  List.iter
+    (fun (s : Gen.send) ->
+      if s.src < Array.length nodes && s.dst < Array.length nodes then begin
+        let src_host = Testbed.host nodes.(s.src) in
+        let dst_host = Testbed.host nodes.(s.dst) in
+        let dst_ip = Vw_stack.Host.ip dst_host in
+        let sport, dport = c.Gen.kinds.(s.kind) in
+        let data = Gen.payload ~kind:s.kind ~len:s.len in
+        ignore
+          (Vw_stack.Host.set_timer src_host ~granularity:`Fine
+             ~delay:(Simtime.ms s.at_ms) (fun () ->
+               Vw_stack.Host.udp_send src_host ~src_port:sport ~dst:dst_ip
+                 ~dst_port:dport data))
+      end)
+    c.Gen.sends
+
+let run ?(events_capacity = 262_144) (c : Gen.case) =
+  let script = Vw_fsl.Ast.script_to_string c.Gen.script in
+  match Vw_fsl.Compile.parse_and_compile script with
+  | Error e -> Error e
+  | Ok tables ->
+      let config =
+        { Testbed.default_config with seed = c.Gen.seed lxor 0x5eed }
+      in
+      let testbed = Testbed.of_node_table ~config tables in
+      Testbed.enable_observability ~capacity:events_capacity testbed;
+      let result =
+        Scenario.run testbed ~script
+          ~max_duration:(Simtime.ms c.Gen.max_ms)
+          ~workload:(workload c)
+      in
+      (* Let in-flight control frames, DELAY releases and REORDER flushes
+         settle so final states are comparable across nodes. *)
+      let engine = Testbed.engine testbed in
+      let steps = ref 0 in
+      while !steps < drain_cap && Vw_sim.Engine.step engine do
+        incr steps
+      done;
+      let o_drained = Vw_sim.Engine.pending engine = 0 in
+      let trace = Testbed.trace testbed in
+      let n_terms = Array.length tables.Vw_fsl.Tables.terms in
+      let o_nodes =
+        List.map
+          (fun node ->
+            let fie = Testbed.fie node in
+            {
+              ns_name = Testbed.name node;
+              ns_failed = Vw_stack.Host.is_failed (Testbed.host node);
+              ns_counters = Vw_engine.Fie.counters fie;
+              ns_terms =
+                Array.init n_terms (fun tid ->
+                    Vw_engine.Fie.term_status fie tid);
+            })
+          (Testbed.nodes testbed)
+      in
+      Ok
+        {
+          o_case = c;
+          o_tables = tables;
+          o_result = result;
+          o_events = Testbed.events testbed;
+          o_truncated =
+            Testbed.events_truncated testbed > 0
+            || Testbed.events_dropped testbed > 0
+            || Vw_core.Trace.truncated trace;
+          o_drained;
+          o_trace = Vw_core.Trace.entries trace;
+          o_nodes;
+        }

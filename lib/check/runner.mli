@@ -1,0 +1,29 @@
+(** Execute one generated {!Gen.case} under the deterministic simulator and
+    collect everything the {!Oracles} need: the compiled tables, the merged
+    flight-recorder log, the packet trace, and every node's final engine
+    state. *)
+
+type node_state = {
+  ns_name : string;
+  ns_failed : bool;  (** the FAIL action crashed this host *)
+  ns_counters : (string * int * bool) list;  (** (name, value, enabled) *)
+  ns_terms : bool option array;  (** this node's view, indexed by tid *)
+}
+
+type outcome = {
+  o_case : Gen.case;
+  o_tables : Vw_fsl.Tables.t;
+  o_result : (Vw_core.Scenario.result, string) result;
+  o_events : Vw_obs.Event.t list;
+  o_truncated : bool;  (** an event ring or the trace wrapped *)
+  o_drained : bool;  (** the post-run drain reached quiescence *)
+  o_trace : Vw_core.Trace.entry list;
+  o_nodes : node_state list;
+}
+
+val run : ?events_capacity:int -> Gen.case -> (outcome, string) result
+(** [Error] only for scripts that fail to parse or compile — itself an
+    oracle violation, since the generator promises well-typed output.
+    After {!Vw_core.Scenario.run} returns, the simulation is drained
+    (bounded) so in-flight control frames and DELAY/REORDER releases
+    settle before state is sampled. *)

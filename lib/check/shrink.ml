@@ -1,0 +1,152 @@
+module Ast = Vw_fsl.Ast
+
+let with_scenario (c : Gen.case) scenario =
+  { c with Gen.script = { c.Gen.script with Ast.scenario } }
+
+let with_rules (c : Gen.case) rules =
+  with_scenario c { c.Gen.script.Ast.scenario with Ast.rules }
+
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
+
+(* Immediate structural simplifications of a condition. *)
+let subconds = function
+  | Ast.And (a, b) | Ast.Or (a, b) -> [ a; b ]
+  | Ast.Not a -> [ a ]
+  | Ast.Term _ -> [ Ast.True ]
+  | Ast.True -> []
+
+let candidates (c : Gen.case) =
+  let scenario = c.Gen.script.Ast.scenario in
+  let rules = scenario.Ast.rules in
+  let n_rules = List.length rules in
+  let out = ref [] in
+  let add cand = out := cand :: !out in
+  (* collected in reverse, so push smallest-step candidates first *)
+  (* 8: drop one send *)
+  List.iteri
+    (fun i _ -> add { c with Gen.sends = remove_at i c.Gen.sends })
+    c.Gen.sends;
+  (* 7: simplify a rule's condition *)
+  List.iteri
+    (fun i (r : Ast.rule) ->
+      List.iter
+        (fun cond ->
+          add
+            (with_rules c
+               (List.mapi
+                  (fun j r' ->
+                    if j = i then { r' with Ast.condition = cond } else r')
+                  rules)))
+        (subconds r.Ast.condition))
+    rules;
+  (* 6: drop one action from a rule that keeps at least one *)
+  List.iteri
+    (fun i (r : Ast.rule) ->
+      if List.length r.Ast.actions >= 2 then
+        List.iteri
+          (fun j _ ->
+            add
+              (with_rules c
+                 (List.mapi
+                    (fun k r' ->
+                      if k = i then
+                        { r' with Ast.actions = remove_at j r'.Ast.actions }
+                      else r')
+                    rules)))
+          r.Ast.actions)
+    rules;
+  (* 5: drop the last node (earlier indices keep their meaning) *)
+  let n_nodes = List.length c.Gen.script.Ast.nodes in
+  if
+    n_nodes >= 2
+    && not
+         (List.exists
+            (fun (s : Gen.send) -> s.Gen.src = n_nodes - 1 || s.Gen.dst = n_nodes - 1)
+            c.Gen.sends)
+  then
+    add
+      {
+        c with
+        Gen.script =
+          {
+            c.Gen.script with
+            Ast.nodes = remove_at (n_nodes - 1) c.Gen.script.Ast.nodes;
+          };
+      };
+  (* 4: drop a filter *)
+  List.iteri
+    (fun i _ ->
+      add
+        {
+          c with
+          Gen.script =
+            {
+              c.Gen.script with
+              Ast.filters = remove_at i c.Gen.script.Ast.filters;
+            };
+        })
+    c.Gen.script.Ast.filters;
+  (* 3: drop a counter *)
+  List.iteri
+    (fun i _ ->
+      add
+        (with_scenario c
+           {
+             scenario with
+             Ast.counters = remove_at i scenario.Ast.counters;
+           }))
+    scenario.Ast.counters;
+  (* 2: drop a whole rule *)
+  List.iteri (fun i _ -> add (with_rules c (remove_at i rules))) rules;
+  (* 1: halve the schedule *)
+  if List.length c.Gen.sends >= 2 then begin
+    let half = List.length c.Gen.sends / 2 in
+    add { c with Gen.sends = List.filteri (fun i _ -> i >= half) c.Gen.sends };
+    add { c with Gen.sends = List.filteri (fun i _ -> i < half) c.Gen.sends }
+  end;
+  ignore n_rules;
+  !out
+
+let compiles (c : Gen.case) =
+  match
+    Vw_fsl.Compile.parse_and_compile (Ast.script_to_string c.Gen.script)
+  with
+  | Ok _ -> true
+  | Error _ -> false
+
+let minimize ?(max_attempts = 400) ~defect ~oracle case =
+  let attempts = ref 0 in
+  let reproduces c =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      if oracle = "generates_valid" then
+        match Runner.run c with Error _ -> true | Ok _ -> false
+      else
+        match Runner.run c with
+        | Error _ -> false
+        | Ok o -> (
+            match Oracles.check ~defect o with
+            | Some f -> f.Oracles.oracle = oracle
+            | None -> false)
+    end
+  in
+  let rec loop current =
+    if !attempts >= max_attempts then current
+    else begin
+      let smaller =
+        List.filter
+          (fun c ->
+            Gen.size c < Gen.size current
+            && (oracle = "generates_valid" || compiles c))
+          (candidates current)
+      in
+      let rec first = function
+        | [] -> current
+        | c :: rest -> if reproduces c then loop c else first rest
+      in
+      first smaller
+    end
+  in
+  let result = loop case in
+  (result, !attempts)

@@ -1,0 +1,18 @@
+(** Greedy delta-debugging of a failing {!Gen.case}.
+
+    Candidates are proposed biggest-first (halve the schedule, drop a rule,
+    drop a counter/filter/node, drop an action, simplify a condition, drop
+    one send); a candidate is accepted when it still compiles and still
+    fails the {e same} oracle under the same defect. The loop restarts
+    after every acceptance and stops at a fixpoint or after the attempt
+    budget. *)
+
+val minimize :
+  ?max_attempts:int ->
+  defect:Oracles.defect ->
+  oracle:string ->
+  Gen.case ->
+  Gen.case * int
+(** [(minimized, runs_spent)]. [max_attempts] (default 400) bounds the
+    number of candidate executions; the input case is returned unchanged if
+    nothing smaller reproduces. *)

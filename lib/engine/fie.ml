@@ -232,6 +232,12 @@ let condition_status t did =
       Some (rt.cond_status.(did))
   | _ -> None
 
+let term_status t tid =
+  match t.rt with
+  | Some rt when tid >= 0 && tid < Array.length rt.term_status ->
+      Some (rt.term_status.(tid))
+  | _ -> None
+
 let now t = Vw_sim.Engine.now (Vw_stack.Host.engine t.hst)
 
 (* --- term & condition evaluation --- *)

@@ -120,6 +120,11 @@ val counters : t -> (string * int * bool) list
 
 val condition_status : t -> int -> bool option
 
+val term_status : t -> int -> bool option
+(** This node's view of term [tid]'s status (owner-evaluated locally,
+    last-received for subscribers). [None] before INIT or out of range.
+    Used by the convergence oracle in [vw_check]. *)
+
 val last_match_time : t -> Vw_sim.Simtime.t option
 (** When a packet last matched a filter here — scenario inactivity is
     judged on this. *)

@@ -166,7 +166,10 @@ let pp_counter_def ppf = function
   | Local_counter { at_node } -> Format.fprintf ppf "(%s)" at_node
 
 let pp_rule ppf (r : rule) =
-  Format.fprintf ppf "%a >>" pp_cond r.condition;
+  (* Always parenthesize: a bare TRUE after another rule's actions would be
+     taken for an action name by the parser, so printed scripts must keep
+     every rule condition starting with '('. *)
+  Format.fprintf ppf "(%a) >>" pp_cond r.condition;
   List.iter (fun a -> Format.fprintf ppf " %a;" pp_action a) r.actions
 
 let pp_script ppf (s : script) =

@@ -191,6 +191,21 @@ let build_index (filters : filter_entry array) =
         ci_fallback = Array.of_list (List.rev !fallback);
       }
 
+let equal (a : t) (b : t) =
+  (* Structural equality of the six shipped tables. [cindex] is derived
+     (rebuilt deterministically from [filters] by the codec) and holds a
+     Hashtbl, so it is deliberately excluded. *)
+  a.scenario_name = b.scenario_name
+  && a.inactivity_timeout = b.inactivity_timeout
+  && a.vars = b.vars
+  && a.filters = b.filters
+  && a.nodes = b.nodes
+  && a.counters = b.counters
+  && a.terms = b.terms
+  && a.conds = b.conds
+  && a.actions = b.actions
+  && a.rule_of_cond = b.rule_of_cond
+
 let index_stats t =
   let buckets = Hashtbl.length t.cindex.ci_buckets in
   let largest =

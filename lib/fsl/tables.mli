@@ -145,6 +145,11 @@ val index_stats : t -> int * int * int
 (** [(buckets, largest_bucket, fallback_filters)] — the shape of the
     index, for [vwctl check] and the bench summary. *)
 
+val equal : t -> t -> bool
+(** Structural equality of the six shipped tables, ignoring the derived
+    [cindex] (which is rebuilt from [filters] and therefore determined by
+    them). Used by codec round-trip properties. *)
+
 val node_by_name : t -> string -> node_entry option
 val node_by_mac : t -> Vw_net.Mac.t -> node_entry option
 val counter_by_name : t -> string -> counter_entry option

@@ -32,3 +32,30 @@ let exponential t ~mean =
   let u = float t in
   let u = if u <= 0.0 then 1e-12 else u in
   -.mean *. log u
+
+let default_run_seed = 42
+let memo_run_seed = ref None
+
+let run_seed () =
+  match !memo_run_seed with
+  | Some s -> s
+  | None ->
+      let s =
+        match Sys.getenv_opt "VW_SEED" with
+        | None | Some "" -> default_run_seed
+        | Some v -> (
+            match int_of_string_opt (String.trim v) with
+            | Some s -> s
+            | None ->
+                Printf.eprintf "warning: ignoring unparsable VW_SEED=%S\n%!" v;
+                default_run_seed)
+      in
+      memo_run_seed := Some s;
+      s
+
+let with_seed_on_failure f =
+  try f ()
+  with e ->
+    Printf.eprintf "randomized test failed under run seed %d; rerun with VW_SEED=%d to reproduce\n%!"
+      (run_seed ()) (run_seed ());
+    raise e

@@ -34,3 +34,13 @@ val byte : t -> int
 val exponential : t -> mean:float -> float
 (** [exponential t ~mean] draws from an exponential distribution; used for
     randomized inter-arrival workloads. *)
+
+val run_seed : unit -> int
+(** The run-level seed shared by every randomized test in a process: the
+    value of [VW_SEED] if set to an integer, else 42. Memoized on first
+    read so one run cannot mix seeds. *)
+
+val with_seed_on_failure : (unit -> 'a) -> 'a
+(** [with_seed_on_failure f] runs [f ()]; if it raises, prints the run seed
+    and a [VW_SEED=…] replay hint on stderr before re-raising. Wrap
+    randomized test bodies so failures are always reproducible. *)

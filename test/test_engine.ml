@@ -10,7 +10,7 @@ module Testbed = Vw_core.Testbed
 module Scenario = Vw_core.Scenario
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 let compile src =
   match Vw_fsl.Compile.parse_and_compile src with
@@ -881,6 +881,278 @@ P: (udp_ping, alice, bob, RECV)
   | Ok _ -> ()
   | Error e -> Alcotest.failf "partial testbed rejected: %s" e
 
+(* --- generator-surfaced edge cases (fuzzer corpus distilled) ---
+
+   The vw_check generator produces shapes the hand-written tests never
+   tried: degenerate REORDER permutations arriving over the wire, rule
+   chains that brush the cascade depth limit, DUP and MODIFY armed on the
+   same frame, and DELAY timers that outlive the scenario. *)
+
+(* Like [run_scenario] but records every payload bob's application sees,
+   so tests can tell a modified frame from a pristine one. *)
+let run_capture ?(count = 10) ?(max_duration = Simtime.sec 2.0) src =
+  let testbed =
+    Testbed.create
+      [
+        ("alice", Vw_net.Mac.of_string "02:00:00:00:00:0a", alice_ip);
+        ("bob", Vw_net.Mac.of_string "02:00:00:00:00:0b", bob_ip);
+      ]
+  in
+  let payloads = ref [] in
+  let result =
+    Scenario.run testbed ~script:src ~max_duration ~workload:(fun tb ->
+        let engine = Testbed.engine tb in
+        let alice = Testbed.host (Testbed.node tb "alice") in
+        let bob = Testbed.host (Testbed.node tb "bob") in
+        Host.udp_bind bob ~port:5001 (fun ~src:_ ~src_port:_ payload ->
+            payloads := Bytes.to_string payload :: !payloads);
+        for i = 0 to count - 1 do
+          ignore
+            (Engine.schedule_after engine
+               ~delay:(i * Simtime.ms 5)
+               (fun () ->
+                 Host.udp_send alice ~src_port:5000 ~dst:bob_ip ~dst_port:5001
+                   (Bytes.make 32 'p')))
+        done)
+  in
+  match result with
+  | Error e -> Alcotest.failf "scenario failed to run: %s" e
+  | Ok r -> (r, testbed, List.rev !payloads)
+
+let test_reorder_empty_permutation () =
+  (* an empty order array (the fuzzer's favourite degenerate table) must
+     normalize to the identity at init: every buffered frame released in
+     arrival order, nothing lost, no crash *)
+  let src =
+    script ~header:"reorder_empty"
+      ~rules:
+        {|
+PING_R: (udp_ping, alice, bob, RECV)
+(TRUE) >> ENABLE_CNTR( PING_R );
+((PING_R >= 1)) >> REORDER( udp_ping, alice, bob, RECV, 3, [3 1 2] );
+|}
+  in
+  let tables = compile src in
+  let actions =
+    Array.map
+      (fun (a : Tables.action_entry) ->
+        match a.Tables.act with
+        | Tables.A_reorder (s, n, _) ->
+            { a with Tables.act = Tables.A_reorder (s, n, [||]) }
+        | _ -> a)
+      tables.Tables.actions
+  in
+  let tables = { tables with Tables.actions } in
+  let testbed =
+    Testbed.create
+      [
+        ("alice", Vw_net.Mac.of_string "02:00:00:00:00:0a", alice_ip);
+        ("bob", Vw_net.Mac.of_string "02:00:00:00:00:0b", bob_ip);
+      ]
+  in
+  let nodes = [ Testbed.node testbed "alice"; Testbed.node testbed "bob" ] in
+  List.iter
+    (fun node ->
+      match Fie.init_local (Testbed.fie node) ~controller_nid:0 tables with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "init: %s" e)
+    nodes;
+  List.iter (fun node -> Fie.start_local (Testbed.fie node)) nodes;
+  let engine = Testbed.engine testbed in
+  let alice = Testbed.host (Testbed.node testbed "alice") in
+  let bob = Testbed.host (Testbed.node testbed "bob") in
+  let arrivals = ref [] in
+  Host.udp_bind bob ~port:5001 (fun ~src:_ ~src_port:_ payload ->
+      arrivals := Bytes.to_string payload :: !arrivals);
+  List.iteri
+    (fun i tag ->
+      ignore
+        (Engine.schedule_after engine
+           ~delay:(i * Simtime.ms 2)
+           (fun () ->
+             Host.udp_send alice ~src_port:5000 ~dst:bob_ip ~dst_port:5001
+               (Bytes.of_string tag))))
+    [ "one"; "two"; "three" ];
+  Testbed.run testbed ~until:(Simtime.ms 100) ();
+  check (Alcotest.list Alcotest.string)
+    "empty permutation degrades to identity" [ "one"; "two"; "three" ]
+    (List.rev !arrivals)
+
+(* A linear rule chain of [k] counters: the first ping trips rule 1, each
+   rule's increment trips the next, one cascade round per link. *)
+let cascade_chain_script k =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "PING_R: (udp_ping, alice, bob, RECV)\n";
+  for i = 1 to k do
+    Buffer.add_string buf (Printf.sprintf "X%d: (bob)\n" i)
+  done;
+  Buffer.add_string buf "(TRUE) >> ENABLE_CNTR( PING_R );\n";
+  Buffer.add_string buf "((PING_R >= 1)) >> INCR_CNTR( X1, 1 );\n";
+  for i = 1 to k - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "((X%d >= 1)) >> INCR_CNTR( X%d, 1 );\n" i (i + 1))
+  done;
+  script ~header:(Printf.sprintf "chain%d" k) ~rules:(Buffer.contents buf)
+
+let test_cascade_chain_converges_under_limit () =
+  let r, testbed, _, _ = run_scenario (cascade_chain_script 90) in
+  check Alcotest.bool "passed" true (Scenario.passed r);
+  let bob_fie = Testbed.fie (Testbed.node testbed "bob") in
+  check (Alcotest.option Alcotest.int) "chain ran to the end" (Some 1)
+    (Fie.counter_value bob_fie "X90");
+  check Alcotest.int "no overflow" 0
+    (Fie.stats bob_fie).Fie.cascade_overflows
+
+let test_cascade_chain_overflow_reported () =
+  (* one link past the 100-round bound: the engine must cut the cascade
+     and report rule -1, exactly like a divergent oscillator *)
+  let r, testbed, _, _ = run_scenario (cascade_chain_script 120) in
+  check Alcotest.bool "overflow flagged as error" true
+    (List.exists (fun e -> e.Scenario.err_rule = -1) r.Scenario.errors);
+  check Alcotest.bool "not passed" false (Scenario.passed r);
+  let bob_fie = Testbed.fie (Testbed.node testbed "bob") in
+  check Alcotest.bool "overflow counted" true
+    ((Fie.stats bob_fie).Fie.cascade_overflows >= 1);
+  check (Alcotest.option Alcotest.int) "tail of the chain never reached"
+    (Some 0)
+    (Fie.counter_value bob_fie "X120")
+
+(* MODIFY pattern at frame offset 40: zeroes the UDP checksum (0 = "not
+   computed", accepted by the stack) and stamps "XX" over the first two
+   payload bytes — a corruption that survives delivery, so tests can see
+   exactly which copies carry it. *)
+let modify_visible = "(40 0x00005858)"
+
+let count_marked payloads =
+  List.length
+    (List.filter
+       (fun p -> String.length p >= 2 && String.sub p 0 2 = "XX")
+       payloads)
+
+let test_dup_after_modify_same_point () =
+  (* both armed on the same (point, filter) and frame: only the first
+     armed fault in action-id order applies — MODIFY here, DUP never
+     fires *)
+  let src =
+    script ~header:"modify_then_dup"
+      ~rules:
+        (Printf.sprintf
+           {|
+PING_R: (udp_ping, alice, bob, RECV)
+(TRUE) >> ENABLE_CNTR( PING_R );
+((PING_R = 2)) >> MODIFY( udp_ping, alice, bob, RECV, %s );
+((PING_R = 2)) >> DUP( udp_ping, alice, bob, RECV );
+|}
+           modify_visible)
+  in
+  let _, testbed, payloads = run_capture src in
+  check Alcotest.int "no duplicate: 10 deliveries" 10 (List.length payloads);
+  check Alcotest.int "exactly one marked frame" 1 (count_marked payloads);
+  let bob_fie = Testbed.fie (Testbed.node testbed "bob") in
+  check Alcotest.int "modify fired" 1 (Fie.stats bob_fie).Fie.faults_modify;
+  check Alcotest.int "dup shadowed" 0 (Fie.stats bob_fie).Fie.faults_dup
+
+let test_modify_after_dup_same_point () =
+  (* same pair, opposite order: DUP wins, the copy and the original are
+     both pristine and MODIFY never fires *)
+  let src =
+    script ~header:"dup_then_modify"
+      ~rules:
+        (Printf.sprintf
+           {|
+PING_R: (udp_ping, alice, bob, RECV)
+(TRUE) >> ENABLE_CNTR( PING_R );
+((PING_R = 2)) >> DUP( udp_ping, alice, bob, RECV );
+((PING_R = 2)) >> MODIFY( udp_ping, alice, bob, RECV, %s );
+|}
+           modify_visible)
+  in
+  let _, testbed, payloads = run_capture src in
+  check Alcotest.int "duplicate delivered: 11" 11 (List.length payloads);
+  check Alcotest.int "nothing marked" 0 (count_marked payloads);
+  let bob_fie = Testbed.fie (Testbed.node testbed "bob") in
+  check Alcotest.int "dup fired" 1 (Fie.stats bob_fie).Fie.faults_dup;
+  check Alcotest.int "modify shadowed" 0 (Fie.stats bob_fie).Fie.faults_modify
+
+let test_dup_of_modified_frame_across_points () =
+  (* MODIFY at alice's egress, DUP at bob's ingress: the duplicate must be
+     a copy of the MODIFIED frame — two marked deliveries *)
+  let src =
+    script ~header:"modify_send_dup_recv"
+      ~rules:
+        (Printf.sprintf
+           {|
+PING_S: (udp_ping, alice, bob, SEND)
+PING_R: (udp_ping, alice, bob, RECV)
+(TRUE) >> ENABLE_CNTR( PING_S ); ENABLE_CNTR( PING_R );
+((PING_S = 2)) >> MODIFY( udp_ping, alice, bob, SEND, %s );
+((PING_R = 2)) >> DUP( udp_ping, alice, bob, RECV );
+|}
+           modify_visible)
+  in
+  let _, testbed, payloads = run_capture src in
+  check Alcotest.int "11 deliveries" 11 (List.length payloads);
+  check Alcotest.int "both copies carry the modification" 2
+    (count_marked payloads);
+  let alice_fie = Testbed.fie (Testbed.node testbed "alice") in
+  let bob_fie = Testbed.fie (Testbed.node testbed "bob") in
+  check Alcotest.int "modify at egress" 1
+    (Fie.stats alice_fie).Fie.faults_modify;
+  check Alcotest.int "dup at ingress" 1 (Fie.stats bob_fie).Fie.faults_dup
+
+let test_delay_pending_across_stop () =
+  (* a DELAY-stolen frame whose timer outlives the scenario: the late
+     reinjection must still deliver cleanly while the testbed drains *)
+  let src =
+    script ~header:"delay_past_stop"
+      ~rules:
+        {|
+PING_R: (udp_ping, alice, bob, RECV)
+(TRUE) >> ENABLE_CNTR( PING_R );
+((PING_R = 1)) >> DELAY( udp_ping, alice, bob, RECV, 500ms );
+((PING_R = 5)) >> STOP;
+|}
+  in
+  let testbed =
+    Testbed.create
+      [
+        ("alice", Vw_net.Mac.of_string "02:00:00:00:00:0a", alice_ip);
+        ("bob", Vw_net.Mac.of_string "02:00:00:00:00:0b", bob_ip);
+      ]
+  in
+  let arrivals = ref [] in
+  let result =
+    Scenario.run testbed ~script:src ~max_duration:(Simtime.sec 2.0)
+      ~workload:(fun tb ->
+        let engine = Testbed.engine tb in
+        let alice = Testbed.host (Testbed.node tb "alice") in
+        let bob = Testbed.host (Testbed.node tb "bob") in
+        Host.udp_bind bob ~port:5001 (fun ~src:_ ~src_port:_ payload ->
+            arrivals := Bytes.to_string payload :: !arrivals);
+        List.iteri
+          (fun i tag ->
+            ignore
+              (Engine.schedule_after engine
+                 ~delay:(i * Simtime.ms 5)
+                 (fun () ->
+                   Host.udp_send alice ~src_port:5000 ~dst:bob_ip
+                     ~dst_port:5001
+                     (Bytes.of_string tag))))
+          [ "one"; "two"; "three"; "four"; "five" ])
+  in
+  let r = match result with Error e -> Alcotest.fail e | Ok r -> r in
+  check Alcotest.string "stopped before the delay matured" "STOPPED"
+    (Scenario.outcome_to_string r.Scenario.outcome);
+  check Alcotest.bool "stop well before 500ms" true
+    (r.Scenario.duration < Simtime.ms 500);
+  check Alcotest.int "only the undelayed pings so far" 4
+    (List.length !arrivals);
+  (* drain past the delay timer: the stolen frame must reappear *)
+  Testbed.run testbed ~until:(Simtime.sec 1.0) ();
+  check (Alcotest.list Alcotest.string) "delayed frame delivered last"
+    [ "two"; "three"; "four"; "five"; "one" ]
+    (List.rev !arrivals)
+
 let suite =
   [
     ( "engine.classifier",
@@ -911,6 +1183,23 @@ let suite =
           test_reorder_corrupt_permutation;
         Alcotest.test_case "level-armed window" `Quick
           test_fault_only_while_condition_holds;
+      ] );
+    ( "engine.edge",
+      [
+        Alcotest.test_case "REORDER empty permutation" `Quick
+          test_reorder_empty_permutation;
+        Alcotest.test_case "cascade chain under the depth limit" `Quick
+          test_cascade_chain_converges_under_limit;
+        Alcotest.test_case "cascade chain past the depth limit" `Quick
+          test_cascade_chain_overflow_reported;
+        Alcotest.test_case "MODIFY shadows DUP at one point" `Quick
+          test_dup_after_modify_same_point;
+        Alcotest.test_case "DUP shadows MODIFY at one point" `Quick
+          test_modify_after_dup_same_point;
+        Alcotest.test_case "DUP copies a modified frame" `Quick
+          test_dup_of_modified_frame_across_points;
+        Alcotest.test_case "DELAY pending across STOP" `Quick
+          test_delay_pending_across_stop;
       ] );
     ( "engine.distributed",
       [

@@ -4,7 +4,7 @@
 open Vw_fsl
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 let parse_ok src =
   match Parser.parse src with

@@ -1,0 +1,63 @@
+(* Golden-output tests for the vwctl CLI.
+
+   Each case runs the real binary against an embedded script and compares
+   stdout with a snapshot under [test/golden/]. Comparison is normalized —
+   lines trimmed, blanks dropped, then sorted — so incidental ordering or
+   whitespace drift does not fail the test, while any value change does.
+   On mismatch the full actual output is printed; paste it over the golden
+   file (and review the diff) to re-bless. *)
+
+let vwctl = Filename.concat (Filename.concat ".." "bin") "vwctl.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_cmd args =
+  let out = Filename.temp_file "vwctl_golden" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>/dev/null" vwctl args (Filename.quote out)
+      in
+      let rc = Sys.command cmd in
+      (rc, read_file out))
+
+let normalize s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> List.sort compare
+
+let check_golden ~golden ~args () =
+  let rc, actual = run_cmd args in
+  if rc <> 0 then Alcotest.failf "vwctl %s: exit code %d" args rc;
+  let path = Filename.concat "golden" golden in
+  let expected =
+    try read_file path
+    with Sys_error e -> Alcotest.failf "missing golden file %s: %s" path e
+  in
+  if normalize actual <> normalize expected then
+    Alcotest.failf
+      "vwctl %s drifted from golden/%s.@.--- actual ---@.%s@.--- expected \
+       ---@.%s"
+      args golden actual expected
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "vwctl explain quickstart --rule 1" `Quick
+          (check_golden ~golden:"explain_quickstart_rule1.txt"
+             ~args:"explain quickstart --rule 1 -w udp-ping -b 6400 -d 2");
+        Alcotest.test_case "vwctl cover quickstart --json" `Quick
+          (check_golden ~golden:"cover_quickstart.json"
+             ~args:"cover quickstart --json -w udp-ping -b 6400 -d 2");
+        Alcotest.test_case "vwctl run quickstart --stats-json" `Quick
+          (check_golden ~golden:"run_quickstart_stats.json"
+             ~args:"run quickstart -w udp-ping -b 6400 -d 2 --stats-json");
+      ] );
+  ]

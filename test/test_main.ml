@@ -23,4 +23,6 @@ let () =
          Test_http.suite;
          Test_arp.suite;
          Test_stress.suite;
+         Test_check.suite;
+         Test_golden.suite;
        ])

@@ -6,7 +6,7 @@ open Vw_net
 module Hex = Vw_util.Hexutil
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 let mac1 = Mac.of_string "00:46:61:af:fe:23"
 let mac2 = Mac.of_string "00:23:31:df:af:12"

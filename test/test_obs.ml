@@ -12,7 +12,7 @@ module Explain = Vw_core.Explain
 module Host = Vw_stack.Host
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 (* --- recorder unit tests --- *)
 

@@ -7,7 +7,7 @@ module Host = Vw_stack.Host
 module Rll = Vw_rll.Rll
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 let mac i = Vw_net.Mac.of_int i
 let ip i = Vw_net.Ip_addr.of_host_index i

@@ -1,0 +1,11 @@
+(* One run-level seed for every randomized suite.
+
+   Each qcheck property draws from a Random.State seeded with
+   [Vw_util.Prng.run_seed] — the value of VW_SEED when set, else 42 — and a
+   failing run prints a [VW_SEED=…] replay hint on stderr. Set QCHECK_SEED
+   too if you want to pin qcheck's own generator independently. *)
+
+let qtest test =
+  let rand = Random.State.make [| Vw_util.Prng.run_seed () |] in
+  let name, speed, f = QCheck_alcotest.to_alcotest ~rand test in
+  (name, speed, fun x -> Vw_util.Prng.with_seed_on_failure (fun () -> f x))

@@ -3,7 +3,7 @@
 open Vw_sim
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 let test_time_units () =
   check Alcotest.int "ms" 1_000_000 (Simtime.ms 1);

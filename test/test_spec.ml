@@ -9,7 +9,7 @@ module Testbed = Vw_core.Testbed
 module Scenario = Vw_core.Scenario
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 let ping =
   { Spec.filter = "udp_ping"; from_node = "alice"; to_node = "bob"; dir = `Recv }

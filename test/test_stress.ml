@@ -14,7 +14,7 @@ module Testbed = Vw_core.Testbed
 module Scenario = Vw_core.Scenario
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 (* --- TCP integrity under scripted fault matrices --- *)
 

@@ -4,7 +4,7 @@
 open Vw_util
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Test_seed.qtest
 
 (* --- Hexutil --- *)
 
