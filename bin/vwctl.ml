@@ -236,6 +236,58 @@ let events_capacity_arg =
            events are overwritten, which breaks causal chains; a warning is \
            printed when that happens.")
 
+(* --- the shared campaign option block ---
+
+   Every campaign command (run --repeat, suite, fuzz) takes the same
+   --jobs/--seed/--stats-json trio through this one term, so flag names,
+   defaults, semantics and exit codes cannot drift between subcommands. *)
+
+type campaign_opts = { jobs : int; seed : int option; stats_json : bool }
+
+let campaign_opts_term =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the campaign (default: the machine's \
+             recommended domain count). Campaign output is byte-identical \
+             at every $(docv); only the wall-clock time changes.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed for the campaign; case/trial $(i,i) uses S+i. \
+             Defaults to \\$VW_SEED, else 42.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Print a machine-readable summary to stdout as JSON; the human \
+             report moves to stderr. Campaigns emit schema vw-campaign/1; \
+             a single $(b,run) emits its metrics registry (vw-metrics/1).")
+  in
+  let v jobs seed stats_json =
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Vw_exec.Executor.default_jobs ()
+    in
+    { jobs; seed; stats_json }
+  in
+  Term.(const v $ jobs_arg $ seed_arg $ stats_json_arg)
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
 (* compile SCRIPT's tables, build an observed testbed and run the scenario;
    the common front half of run/explain/cover/report *)
 let run_live ~tables ~src ~workload ~bytes ~duration ~rll ~capacity =
@@ -268,6 +320,91 @@ let warn_truncation testbed ~capacity =
       (Testbed.events_dropped testbed)
       capacity
 
+(* vwctl run --repeat N: the same scenario as a campaign of N trials, trial
+   i on a testbed seeded S+i. One Vw_exec job per trial; the reducer prints
+   trials in plan order, so --jobs does not change the output. *)
+let run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes ~duration
+    ~rll ~opts ~repeat =
+  let base_seed =
+    match opts.seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
+  in
+  let trial i =
+    Vw_exec.Job.v
+      ~label:(Printf.sprintf "trial-%d" i)
+      (fun () ->
+        let seed = (base_seed + i) land max_int in
+        let config =
+          {
+            Testbed.default_config with
+            seed;
+            rll = (if rll then Some Vw_rll.Rll.default_config else None);
+          }
+        in
+        let testbed = Testbed.of_node_table ~config tables in
+        match
+          Scenario.run testbed ~script:src
+            ~max_duration:(Vw_sim.Simtime.sec duration)
+            ~workload:(make_workload workload ~bytes)
+        with
+        | Error e ->
+            Vw_exec.Job.result ~verdict:`Fail (seed, "error: " ^ e ^ "\n")
+        | Ok result ->
+            let b = Buffer.create 128 in
+            let ppf = Format.formatter_of_buffer b in
+            Format.fprintf ppf "%a@." Scenario.pp_result result;
+            List.iter
+              (fun { Scenario.err_node; err_rule } ->
+                Format.fprintf ppf "  FLAG_ERROR from %s (rule %d)@." err_node
+                  err_rule)
+              result.Scenario.errors;
+            Format.pp_print_flush ppf ();
+            Vw_exec.Job.result
+              ~verdict:(if Scenario.passed result then `Pass else `Fail)
+              (seed, Buffer.contents b))
+  in
+  let outcomes =
+    Vw_exec.Executor.run ~jobs:opts.jobs (Vw_exec.Plan.init repeat trial)
+  in
+  let human =
+    if opts.stats_json then Format.err_formatter else Format.std_formatter
+  in
+  let entries =
+    List.map
+      (fun (o : _ Vw_exec.Outcome.t) ->
+        let i = o.Vw_exec.Outcome.index in
+        let seed, detail =
+          match o.Vw_exec.Outcome.payload with
+          | Some p -> p
+          | None ->
+              ( (base_seed + i) land max_int,
+                match o.Vw_exec.Outcome.verdict with
+                | Vw_exec.Outcome.Crash msg -> "worker crashed: " ^ msg ^ "\n"
+                | _ -> "\n" )
+        in
+        Format.fprintf human "trial %d (seed %d): %s" i seed detail;
+        Vw_report.Campaign.entry
+          ~name:(Printf.sprintf "trial-%d" i)
+          ~ok:(Vw_exec.Outcome.passed o)
+          ~detail:(first_line detail) ())
+      outcomes
+  in
+  let campaign = Vw_report.Campaign.v ~command:"run" entries in
+  Format.fprintf human "repeat: %d/%d passed@."
+    (Vw_report.Campaign.passed campaign)
+    repeat;
+  Format.pp_print_flush human ();
+  if opts.stats_json then
+    print_string
+      (Vw_report.Campaign.summary_json
+         ~extra:
+           [
+             ("script", Printf.sprintf "%S" script_path);
+             ("seed", string_of_int base_seed);
+             ("repeat", string_of_int repeat);
+           ]
+         campaign);
+  if Vw_report.Campaign.ok campaign then 0 else 2
+
 let run_cmd =
   let script_arg = script_pos_arg in
   let trace_arg =
@@ -290,13 +427,16 @@ let run_cmd =
             "Dump every engine-statistics field for every node after the \
              run, sourced from the metrics registry.")
   in
-  let stats_json_arg =
+  let repeat_arg =
     Arg.(
-      value & flag
-      & info [ "stats-json" ]
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
           ~doc:
-            "Print the full metrics registry (counters and histograms) to \
-             stdout as JSON (schema vw-metrics/1).")
+            "Run the scenario $(docv) times as a campaign, trial $(i,i) \
+             with testbed seed S+i (see $(b,--seed)). Incompatible with the \
+             single-run artifact flags ($(b,--events), $(b,--metrics), \
+             $(b,--pcap), $(b,--trace-json), $(b,--trace), $(b,--counters), \
+             $(b,--stats)). Exit 0 when every trial passes, 2 otherwise.")
   in
   let events_arg =
     Arg.(
@@ -338,9 +478,10 @@ let run_cmd =
              for control hops).")
   in
   let run script_path workload bytes duration rll trace_n verbose counters
-      show_stats stats_json events_out metrics_out pcap_out trace_json_out
+      show_stats opts repeat events_out metrics_out pcap_out trace_json_out
       events_capacity =
     setup_logs verbose;
+    let stats_json = opts.stats_json in
     match load_script script_path with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
@@ -350,12 +491,32 @@ let run_cmd =
         | Error e ->
             Printf.eprintf "%s: %s\n" script_path e;
             1
+        | Ok tables when repeat > 1 ->
+            if
+              trace_n > 0 || counters || show_stats || events_out <> None
+              || metrics_out <> None || pcap_out <> None
+              || trace_json_out <> None
+            then begin
+              Printf.eprintf
+                "error: --repeat is a campaign; the single-run artifact \
+                 flags (--events, --metrics, --pcap, --trace-json, --trace, \
+                 --counters, --stats) do not apply\n";
+              1
+            end
+            else
+              run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes
+                ~duration ~rll ~opts ~repeat
         | Ok tables -> (
             let config =
               {
                 Testbed.default_config with
                 rll = (if rll then Some Vw_rll.Rll.default_config else None);
               }
+            in
+            let config =
+              match opts.seed with
+              | Some seed -> { config with seed }
+              | None -> config
             in
             let testbed = Testbed.of_node_table ~config tables in
             let need_obs =
@@ -480,8 +641,8 @@ let run_cmd =
     Term.(
       const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
       $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg
-      $ stats_json_arg $ events_arg $ metrics_arg $ pcap_arg $ trace_json_arg
-      $ events_capacity_arg)
+      $ campaign_opts_term $ repeat_arg $ events_arg $ metrics_arg $ pcap_arg
+      $ trace_json_arg $ events_capacity_arg)
 
 (* --- explain --- *)
 
@@ -780,12 +941,62 @@ let parse_directives src =
           else acc)
     (Ok defaults) lines
 
+(* suite outcomes -> Campaign entries (+ per-case coverage when observed) *)
+let suite_campaign ~with_cover (report : Vw_core.Suite.report) =
+  let entries =
+    List.map
+      (fun (o : Vw_core.Suite.outcome) ->
+        let cover =
+          if with_cover then
+            Option.map
+              (fun tables ->
+                Vw_report.Coverage.analyze tables o.Vw_core.Suite.o_events)
+              o.Vw_core.Suite.o_tables
+          else None
+        in
+        let href =
+          Option.map (fun _ -> o.Vw_core.Suite.o_name ^ ".cover.json") cover
+        in
+        Vw_report.Campaign.entry ?cover ?href ~name:o.Vw_core.Suite.o_name
+          ~ok:o.Vw_core.Suite.o_ok
+          ~detail:(Vw_core.Suite.outcome_detail o)
+          ())
+      report.Vw_core.Suite.outcomes
+  in
+  Vw_report.Campaign.v ~command:"suite" entries
+
+let write_campaign_dir dir campaign ~summary =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  Vw_report.Campaign.iter_covers campaign (fun ~name cover ->
+      write (name ^ ".cover.json") (Vw_report.Coverage.to_json cover));
+  (match Vw_report.Campaign.coverage campaign with
+  | Some cover -> write "campaign-cover.json" (Vw_report.Coverage.to_json cover)
+  | None -> ());
+  write "campaign.json" summary;
+  write "index.html" (Vw_report.Campaign.html_index campaign)
+
 let suite_cmd =
   let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
   let stop_arg =
     Arg.(value & flag & info [ "stop-on-failure" ] ~doc:"Stop at the first failing case.")
   in
-  let run dir stop_on_failure =
+  let campaign_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "campaign-out" ] ~docv:"DIR"
+          ~doc:
+            "Run with the flight recorder on and write the campaign \
+             artifacts into $(docv): an HTML index, a vw-campaign/1 \
+             summary, per-case vw-cover/1 coverage and the rolled-up \
+             campaign coverage.")
+  in
+  let run dir stop_on_failure opts campaign_out =
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".fsl")
@@ -814,17 +1025,44 @@ let suite_cmd =
                      ()))
           files
       in
-      let report = Vw_core.Suite.run ~stop_on_failure cases in
-      Format.printf "%a@." Vw_core.Suite.pp_report report;
-      if Vw_core.Suite.ok report then 0 else 2
+      let observe = campaign_out <> None in
+      let report =
+        Vw_core.Suite.run ~jobs:opts.jobs ~observe ?seed:opts.seed
+          ~stop_on_failure cases
+      in
+      let human =
+        if opts.stats_json then Format.err_formatter else Format.std_formatter
+      in
+      Format.fprintf human "%a@." Vw_core.Suite.pp_report report;
+      Format.pp_print_flush human ();
+      let campaign = suite_campaign ~with_cover:observe report in
+      let extra =
+        ("dir", Printf.sprintf "%S" dir)
+        ::
+        (match opts.seed with
+        | Some s -> [ ("seed", string_of_int s) ]
+        | None -> [])
+      in
+      let summary = Vw_report.Campaign.summary_json ~extra campaign in
+      if opts.stats_json then print_string summary;
+      match campaign_out with
+      | None -> if Vw_core.Suite.ok report then 0 else 2
+      | Some out -> (
+          match write_campaign_dir out campaign ~summary with
+          | () -> if Vw_core.Suite.ok report then 0 else 2
+          | exception Sys_error e ->
+              Printf.eprintf "error: %s\n" e;
+              1)
     end
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
-         "Run every .fsl script in a directory as a regression suite. \
+         "Run every .fsl script in a directory as a regression suite, \
+          sequentially or across --jobs domains (same output either way). \
           Scripts choose their workload with '# vwctl:' directive comments.")
-    Term.(const run $ dir_arg $ stop_arg)
+    Term.(
+      const run $ dir_arg $ stop_arg $ campaign_opts_term $ campaign_out_arg)
 
 (* --- fuzz: the property-based scenario fuzzer (lib/check) --- *)
 
@@ -833,14 +1071,6 @@ let fuzz_cmd =
     Arg.(
       value & opt int 200
       & info [ "runs" ] ~docv:"N" ~doc:"Number of generated cases to run.")
-  in
-  let seed_arg =
-    Arg.(
-      value & opt (some int) None
-      & info [ "seed" ] ~docv:"S"
-          ~doc:
-            "Base seed; case $(i,i) uses seed S+i. Defaults to \\$VW_SEED, \
-             else 42.")
   in
   let shrink_arg =
     Arg.(
@@ -885,7 +1115,7 @@ let fuzz_cmd =
             "Re-run one saved reproducer (a file printed by a failing fuzz \
              run or written by --save-failing) instead of generating cases.")
   in
-  let run runs seed shrink save_failing defect replay =
+  let run runs opts shrink save_failing defect replay =
     match replay with
     | Some path -> (
         match Vw_check.Fuzz.replay ~defect ~shrink path with
@@ -895,7 +1125,7 @@ let fuzz_cmd =
             1)
     | None ->
         let seed =
-          match seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
+          match opts.seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
         in
         let cfg =
           {
@@ -905,9 +1135,43 @@ let fuzz_cmd =
             shrink;
             save_failing;
             defect;
+            jobs = opts.jobs;
           }
         in
-        Vw_check.Fuzz.exit_code (Vw_check.Fuzz.execute cfg)
+        let ppf =
+          if opts.stats_json then Format.err_formatter
+          else Format.std_formatter
+        in
+        let summary = Vw_check.Fuzz.execute ~ppf cfg in
+        if opts.stats_json then begin
+          let found = summary.Vw_check.Fuzz.found in
+          let entries =
+            List.init summary.Vw_check.Fuzz.runs_done (fun i ->
+                let name = Printf.sprintf "case-%d" i in
+                match found with
+                | Some f when f.Vw_check.Fuzz.run_index = i ->
+                    Vw_report.Campaign.entry ~name ~ok:false
+                      ~detail:
+                        (Printf.sprintf "%s: %s"
+                           f.Vw_check.Fuzz.failure.Vw_check.Oracles.oracle
+                           f.Vw_check.Fuzz.failure.Vw_check.Oracles.detail)
+                      ()
+                | _ -> Vw_report.Campaign.entry ~name ~ok:true ~detail:"" ())
+          in
+          let campaign = Vw_report.Campaign.v ~command:"fuzz" entries in
+          print_string
+            (Vw_report.Campaign.summary_json
+               ~extra:
+                 [
+                   ("seed", string_of_int seed);
+                   ("runs", string_of_int runs);
+                   ( "defect",
+                     Printf.sprintf "%S"
+                       (Vw_check.Oracles.defect_to_string defect) );
+                 ]
+               campaign)
+        end;
+        Vw_check.Fuzz.exit_code summary
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -919,8 +1183,8 @@ let fuzz_cmd =
           coverage, counter/report/term cascade invariants). Exit 0 when \
           clean, 2 on an oracle failure.")
     Term.(
-      const run $ runs_arg $ seed_arg $ shrink_arg $ save_arg $ defect_arg
-      $ replay_arg)
+      const run $ runs_arg $ campaign_opts_term $ shrink_arg $ save_arg
+      $ defect_arg $ replay_arg)
 
 (* --- script --- *)
 

@@ -14,12 +14,15 @@ let loss_pct s =
     float_of_int (s.transmitted - s.received)
     /. float_of_int s.transmitted *. 100.0
 
-let next_id = ref 0
+(* Process-global on purpose (an ICMP id only has to be unique among
+   concurrent pings), but an Atomic so parallel campaign workers cannot
+   tear it. Jobs that need bit-reproducible ICMP ids should not run
+   concurrent Ping sessions across domains. *)
+let next_id = Atomic.make 0
 
 let run ?(count = 5) ?(interval = Vw_sim.Simtime.ms 10) ?(payload_size = 56)
     ?(timeout = Vw_sim.Simtime.sec 1.0) host ~dst k =
-  incr next_id;
-  let id = !next_id land 0xffff in
+  let id = (Atomic.fetch_and_add next_id 1 + 1) land 0xffff in
   let engine = Host.engine host in
   let sent_at = Hashtbl.create 16 in
   let transmitted = ref 0 in

@@ -7,6 +7,7 @@ type config = {
   save_failing : string option;
   defect : Oracles.defect;
   progress_every : int;
+  jobs : int;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     save_failing = None;
     defect = Oracles.No_defect;
     progress_every = 50;
+    jobs = 1;
   }
 
 type found = {
@@ -105,50 +107,120 @@ let report_failure ppf cfg f =
   | None -> ());
   Format.pp_print_flush ppf ()
 
+(* What one campaign job ships back to the reducer: the generated case, the
+   first failing oracle (if any) and this run's tally contribution. The job
+   owns everything else it built (testbed, engine, recorders) — nothing
+   mutable crosses the domain boundary. *)
+type case_run = {
+  cr_case : Gen.case;
+  cr_failure : Oracles.failure option;
+  cr_tally : tally;
+}
+
+let worker_crash_oracle = "worker_crash"
+
+let add_tally into from =
+  into.stopped <- into.stopped + from.stopped;
+  into.timed_out <- into.timed_out + from.timed_out;
+  into.ran_to_limit <- into.ran_to_limit + from.ran_to_limit;
+  into.with_errors <- into.with_errors + from.with_errors;
+  into.truncated <- into.truncated + from.truncated
+
+let fresh_tally () =
+  { stopped = 0; timed_out = 0; ran_to_limit = 0; with_errors = 0; truncated = 0 }
+
+let case_job cfg i =
+  Vw_exec.Job.v
+    ~label:(Printf.sprintf "case-%d" i)
+    (fun () ->
+      let case_seed = (cfg.seed + i) land max_int in
+      let case = Gen.generate ~seed:case_seed in
+      let tally = fresh_tally () in
+      let failure =
+        match run_one ~defect:cfg.defect case with
+        | outcome, failure ->
+            Option.iter (record_outcome tally) outcome;
+            failure
+        | exception e ->
+            (* a raising job is this case's failure, with its seed for
+               replay — never the campaign's *)
+            Some
+              {
+                Oracles.oracle = worker_crash_oracle;
+                detail = Printf.sprintf "job raised: %s" (Printexc.to_string e);
+              }
+      in
+      Vw_exec.Job.result
+        ~verdict:(if failure = None then `Pass else `Fail)
+        { cr_case = case; cr_failure = failure; cr_tally = tally })
+
+let shrink_found cfg ~case ~failure =
+  if cfg.shrink && failure.Oracles.oracle <> worker_crash_oracle then begin
+    let m, spent =
+      Shrink.minimize ~defect:cfg.defect ~oracle:failure.Oracles.oracle case
+    in
+    ((if Gen.size m < Gen.size case then Some m else None), spent)
+  end
+  else (None, 0)
+
 let execute ?(ppf = Format.std_formatter) cfg =
-  let tally =
-    { stopped = 0; timed_out = 0; ran_to_limit = 0; with_errors = 0; truncated = 0 }
-  in
+  let tally = fresh_tally () in
   Format.fprintf ppf "fuzz: %d runs from seed %d, defect %s, shrink %s@."
     cfg.runs cfg.seed
     (Oracles.defect_to_string cfg.defect)
     (if cfg.shrink then "on" else "off");
+  (* seed space sharded across workers; the reducer folds outcomes in plan
+     order and cuts at the earliest failing case, so jobs=1 and jobs=N
+     print byte-identical campaigns. Shrinking stays a single job on the
+     main domain. *)
+  let plan = Vw_exec.Plan.init cfg.runs (case_job cfg) in
+  let outcomes =
+    Vw_exec.Executor.run ~jobs:cfg.jobs
+      ~stop_after:(fun o -> not (Vw_exec.Outcome.passed o))
+      plan
+  in
   let found = ref None in
-  let i = ref 0 in
-  while !found = None && !i < cfg.runs do
-    let case_seed = (cfg.seed + !i) land max_int in
-    let case = Gen.generate ~seed:case_seed in
-    let outcome, failure = run_one ~defect:cfg.defect case in
-    Option.iter (record_outcome tally) outcome;
-    (match failure with
-    | Some failure ->
-        let minimized, shrink_runs =
-          if cfg.shrink then
-            let m, spent =
-              Shrink.minimize ~defect:cfg.defect
-                ~oracle:failure.Oracles.oracle case
-            in
-            ((if Gen.size m < Gen.size case then Some m else None), spent)
-          else (None, 0)
-        in
-        found :=
-          Some
-            {
-              run_index = !i;
-              case_seed;
-              case;
-              failure;
-              minimized;
-              shrink_runs;
-            }
-    | None ->
-        if
-          cfg.progress_every > 0
-          && (!i + 1) mod cfg.progress_every = 0
-        then Format.fprintf ppf "  %d/%d ok@." (!i + 1) cfg.runs);
-    incr i
-  done;
-  let runs_done = !i in
+  List.iter
+    (fun (o : case_run Vw_exec.Outcome.t) ->
+      let i = o.Vw_exec.Outcome.index in
+      let case_seed = (cfg.seed + i) land max_int in
+      match (o.Vw_exec.Outcome.verdict, o.Vw_exec.Outcome.payload) with
+      | Vw_exec.Outcome.Crash msg, _ ->
+          (* crashed before packaging its case (e.g. in generation):
+             regenerate deterministically for the report *)
+          found :=
+            Some
+              {
+                run_index = i;
+                case_seed;
+                case = Gen.generate ~seed:case_seed;
+                failure = { Oracles.oracle = worker_crash_oracle; detail = msg };
+                minimized = None;
+                shrink_runs = 0;
+              }
+      | _, Some cr -> (
+          add_tally tally cr.cr_tally;
+          match cr.cr_failure with
+          | Some failure ->
+              let minimized, shrink_runs =
+                shrink_found cfg ~case:cr.cr_case ~failure
+              in
+              found :=
+                Some
+                  {
+                    run_index = i;
+                    case_seed;
+                    case = cr.cr_case;
+                    failure;
+                    minimized;
+                    shrink_runs;
+                  }
+          | None ->
+              if cfg.progress_every > 0 && (i + 1) mod cfg.progress_every = 0
+              then Format.fprintf ppf "  %d/%d ok@." (i + 1) cfg.runs)
+      | _, None -> assert false)
+    outcomes;
+  let runs_done = List.length outcomes in
   (match !found with
   | Some f -> report_failure ppf cfg f
   | None ->

@@ -3,7 +3,14 @@
     Run [runs] generated cases (case [i] uses seed [seed + i]), stop at the
     first oracle failure, optionally shrink it, and print a deterministic
     report: same configuration, byte-for-byte same output — the property CI
-    checks by diffing two invocations. *)
+    checks by diffing two invocations. With [jobs > 1] the seed space is
+    sharded across that many domains via {!Vw_exec.Executor}; the report is
+    reduced in run order (the failure reported is the {e earliest} failing
+    index, not the first to complete) and is byte-identical to [jobs = 1].
+    Shrinking always runs as a single job on the calling domain. A worker
+    that raises is reported as that case failing the ["worker_crash"]
+    oracle, with its case seed in the replay hint — it never aborts the
+    campaign. *)
 
 type config = {
   runs : int;
@@ -12,11 +19,12 @@ type config = {
   save_failing : string option;  (** directory for reproducer files *)
   defect : Oracles.defect;
   progress_every : int;  (** 0 silences progress lines *)
+  jobs : int;  (** worker domains; 1 = run on the calling domain *)
 }
 
 val default_config : config
 (** 200 runs, seed {!Vw_util.Prng.run_seed}, no shrinking, no defect,
-    progress every 50 runs. *)
+    progress every 50 runs, [jobs = 1]. *)
 
 type found = {
   run_index : int;

@@ -18,67 +18,122 @@ let case ?(max_duration = Vw_sim.Simtime.sec 60.0) ?(expect = `Pass) ?config
     c_config = config;
   }
 
+let with_seed seed c =
+  match (seed, c.c_config) with
+  | None, _ | _, Some _ -> c
+  | Some seed, None ->
+      { c with c_config = Some { Testbed.default_config with seed } }
+
 type outcome = {
   o_name : string;
   o_result : (Scenario.result, string) result;
   o_expected : [ `Pass | `Fail ];
   o_ok : bool;
+  o_tables : Vw_fsl.Tables.t option;
+  o_events : Vw_obs.Event.t list;
 }
 
 type report = { outcomes : outcome list; passed : int; failed : int }
 
-let run_case c =
+let run_case ?(observe = false) c =
   match Vw_fsl.Compile.parse_and_compile c.c_script with
-  | Error e -> Error e
+  | Error e -> (Error e, None, [])
   | Ok tables ->
       let testbed = Testbed.of_node_table ?config:c.c_config tables in
-      Scenario.run testbed ~script:c.c_script ~max_duration:c.c_max_duration
-        ~workload:c.c_workload
+      if observe then Testbed.enable_observability testbed;
+      let result =
+        Scenario.run testbed ~script:c.c_script
+          ~max_duration:c.c_max_duration ~workload:c.c_workload
+      in
+      let events = if observe then Testbed.events testbed else [] in
+      (result, Some tables, events)
 
-let run ?(stop_on_failure = false) cases =
-  let rec go acc cases =
-    match cases with
-    | [] -> List.rev acc
-    | c :: rest ->
-        let o_result = run_case c in
-        let o_ok =
-          match (o_result, c.c_expect) with
-          | Ok r, `Pass -> Scenario.passed r
-          | Ok r, `Fail -> not (Scenario.passed r)
-          | Error _, (`Pass | `Fail) -> false
-        in
-        let outcome =
-          { o_name = c.c_name; o_result; o_expected = c.c_expect; o_ok }
-        in
-        if stop_on_failure && not o_ok then List.rev (outcome :: acc)
-        else go (outcome :: acc) rest
+let outcome_of_case ?observe c =
+  let o_result, o_tables, o_events = run_case ?observe c in
+  let o_ok =
+    match (o_result, c.c_expect) with
+    | Ok r, `Pass -> Scenario.passed r
+    | Ok r, `Fail -> not (Scenario.passed r)
+    | Error _, (`Pass | `Fail) -> false
   in
-  let outcomes = go [] cases in
+  {
+    o_name = c.c_name;
+    o_result;
+    o_expected = c.c_expect;
+    o_ok;
+    o_tables;
+    o_events;
+  }
+
+let job ?observe c =
+  Vw_exec.Job.v ~label:c.c_name (fun () ->
+      let o = outcome_of_case ?observe c in
+      Vw_exec.Job.result ~verdict:(if o.o_ok then `Pass else `Fail) o)
+
+let plan ?observe ?seed cases =
+  Vw_exec.Plan.of_list (List.map (fun c -> job ?observe (with_seed seed c)) cases)
+
+(* a worker crash is this case's failure, not the campaign's *)
+let crash_outcome cases (o : _ Vw_exec.Outcome.t) msg =
+  let expected =
+    match List.nth_opt cases o.Vw_exec.Outcome.index with
+    | Some c -> c.c_expect
+    | None -> `Pass
+  in
+  {
+    o_name = o.Vw_exec.Outcome.label;
+    o_result = Error (Printf.sprintf "worker crashed: %s" msg);
+    o_expected = expected;
+    o_ok = false;
+    o_tables = None;
+    o_events = [];
+  }
+
+let report_of_outcomes outcomes =
   {
     outcomes;
     passed = List.length (List.filter (fun o -> o.o_ok) outcomes);
     failed = List.length (List.filter (fun o -> not o.o_ok) outcomes);
   }
 
+let run ?(jobs = 1) ?observe ?seed ?(stop_on_failure = false) cases =
+  let plan = plan ?observe ?seed cases in
+  let stop_after =
+    if stop_on_failure then
+      Some (fun (o : _ Vw_exec.Outcome.t) -> not (Vw_exec.Outcome.passed o))
+    else None
+  in
+  let outcomes = Vw_exec.Executor.run ~jobs ?stop_after plan in
+  let outcomes =
+    List.map
+      (fun (o : _ Vw_exec.Outcome.t) ->
+        match (o.Vw_exec.Outcome.verdict, o.Vw_exec.Outcome.payload) with
+        | Vw_exec.Outcome.Crash msg, _ -> crash_outcome cases o msg
+        | _, Some oc -> oc
+        | _, None -> crash_outcome cases o "missing payload")
+      outcomes
+  in
+  report_of_outcomes outcomes
+
 let ok report = report.failed = 0
+
+let outcome_detail o =
+  match o.o_result with
+  | Error e -> "error: " ^ e
+  | Ok r ->
+      Printf.sprintf "%s, %d errors, %.3fs"
+        (Scenario.outcome_to_string r.Scenario.outcome)
+        (List.length r.Scenario.errors)
+        (Vw_sim.Simtime.to_sec r.Scenario.duration)
 
 let pp_report ppf report =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun o ->
-      let detail =
-        match o.o_result with
-        | Error e -> "error: " ^ e
-        | Ok r ->
-            Printf.sprintf "%s, %d errors, %.3fs"
-              (Scenario.outcome_to_string r.Scenario.outcome)
-              (List.length r.Scenario.errors)
-              (Vw_sim.Simtime.to_sec r.Scenario.duration)
-      in
       Format.fprintf ppf "%-6s %-32s (expected %s; %s)@,"
         (if o.o_ok then "OK" else "FAILED")
         o.o_name
         (match o.o_expected with `Pass -> "pass" | `Fail -> "fail")
-        detail)
+        (outcome_detail o))
     report.outcomes;
   Format.fprintf ppf "%d passed, %d failed@]" report.passed report.failed

@@ -1,0 +1,109 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_job plan i : _ Outcome.t =
+  let job = Plan.job plan i in
+  let label = Job.label job in
+  match Job.run job with
+  | r ->
+      {
+        Outcome.index = i;
+        label;
+        verdict =
+          (match r.Job.verdict with `Pass -> Outcome.Pass | `Fail -> Fail);
+        payload = Some r.Job.payload;
+        log = r.Job.log;
+        artifacts = r.Job.artifacts;
+      }
+  | exception e ->
+      {
+        Outcome.index = i;
+        label;
+        verdict = Crash (Printexc.to_string e);
+        payload = None;
+        log = "";
+        artifacts = [];
+      }
+
+let reduce ?stop_after ~plan_length outcomes =
+  let slots = Array.make plan_length None in
+  List.iter
+    (fun (o : _ Outcome.t) ->
+      if o.index < 0 || o.index >= plan_length then
+        invalid_arg
+          (Printf.sprintf "Executor.reduce: index %d outside plan of %d"
+             o.index plan_length);
+      if slots.(o.index) <> None then
+        invalid_arg
+          (Printf.sprintf "Executor.reduce: duplicate outcome for index %d"
+             o.index);
+      slots.(o.index) <- Some o)
+    outcomes;
+  (* the cut is the first plan index satisfying the predicate — stragglers
+     past it may exist in [outcomes] but are dropped *)
+  let cut =
+    match stop_after with
+    | None -> plan_length - 1
+    | Some p ->
+        let rec find i =
+          if i >= plan_length then plan_length - 1
+          else
+            match slots.(i) with
+            | Some o when p o -> i
+            | _ -> find (i + 1)
+        in
+        find 0
+  in
+  List.init (cut + 1) (fun i ->
+      match slots.(i) with
+      | Some o -> o
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Executor.reduce: missing outcome for index %d"
+               i))
+
+let run_sequential ?stop_after plan =
+  let n = Plan.length plan in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let o = run_job plan i in
+      let stop = match stop_after with Some p -> p o | None -> false in
+      if stop then List.rev (o :: acc) else go (i + 1) (o :: acc)
+  in
+  go 0 []
+
+let run_parallel ~jobs ?stop_after plan =
+  let n = Plan.length plan in
+  (* force the process-wide seed memo on the main domain: workers must only
+     ever read it (see Vw_util.Prng.run_seed) *)
+  ignore (Vw_util.Prng.run_seed ());
+  let queue = Work_queue.create ~length:n in
+  let slots = Array.make n None in
+  let worker () =
+    let rec loop () =
+      match Work_queue.take queue with
+      | None -> ()
+      | Some i ->
+          let o = run_job plan i in
+          slots.(i) <- Some o;
+          (match stop_after with
+          | Some p when p o -> Work_queue.cap queue i
+          | _ -> ());
+          loop ()
+    in
+    loop ()
+  in
+  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let outcomes =
+    Array.to_list slots |> List.filter_map (fun o -> o)
+  in
+  reduce ?stop_after ~plan_length:n outcomes
+
+let run ?(jobs = 1) ?stop_after plan =
+  let n = Plan.length plan in
+  if n = 0 then []
+  else
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then run_sequential ?stop_after plan
+    else run_parallel ~jobs ?stop_after plan

@@ -1,0 +1,45 @@
+(** Run a plan, sequentially or across OCaml 5 domains — same output.
+
+    The executor's contract is {e byte-determinism}: for a plan of
+    deterministic jobs, [run ~jobs:1] and [run ~jobs:n] return the same
+    outcome list, because outcomes are merged by {!reduce} in plan order
+    (never completion order) and the early-exit predicate cuts at the
+    {e earliest} plan index that satisfies it, regardless of which worker
+    found it first.
+
+    Preconditions on jobs (see {!Job}): each owns all the mutable state it
+    touches (testbed, engine, PRNGs, recorders, metrics) and never prints.
+    The executor forces the process-wide {!Vw_util.Prng.run_seed} memo
+    before spawning domains so no worker races on its initialization. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val run :
+  ?jobs:int ->
+  ?stop_after:('a Outcome.t -> bool) ->
+  'a Plan.t ->
+  'a Outcome.t list
+(** [run ~jobs plan] executes every job and returns outcomes in plan
+    order. [jobs <= 1] runs in the calling domain; otherwise
+    [min jobs (Plan.length plan)] worker domains self-schedule off a shared
+    {!Work_queue}. A job that raises yields a [Crash] outcome; the rest of
+    the plan still runs.
+
+    With [stop_after], the result is truncated (inclusively) at the first
+    plan index whose outcome satisfies the predicate. Sequentially, later
+    jobs are never started; in parallel, workers stop claiming indices
+    beyond the earliest satisfying index and any already-running straggler
+    results are discarded by the reducer — either way the returned list is
+    identical. *)
+
+val reduce :
+  ?stop_after:('a Outcome.t -> bool) ->
+  plan_length:int ->
+  'a Outcome.t list ->
+  'a Outcome.t list
+(** The deterministic reducer, exposed for testing: accepts outcomes in
+    {e any} completion order and returns the plan-order prefix up to (and
+    including) the first index satisfying [stop_after] (the whole plan when
+    absent or never satisfied). @raise Invalid_argument if an index inside
+    the returned prefix is missing or duplicated. *)

@@ -1,0 +1,15 @@
+type 'a result = {
+  verdict : [ `Pass | `Fail ];
+  payload : 'a;
+  log : string;
+  artifacts : (string * string) list;
+}
+
+let result ?(log = "") ?(artifacts = []) ~verdict payload =
+  { verdict; payload; log; artifacts }
+
+type 'a t = { label : string; body : unit -> 'a result }
+
+let v ?(label = "job") body = { label; body }
+let label t = t.label
+let run t = t.body ()

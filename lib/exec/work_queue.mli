@@ -1,0 +1,30 @@
+(** The shared index queue worker domains draw jobs from.
+
+    Jobs in a campaign are coarse (a whole compiled-and-simulated scenario
+    each), so self-scheduling over one atomic counter gets the load balance
+    work stealing would — an idle worker immediately claims the next
+    undispatched index — without per-worker deques. Indices are handed out
+    in ascending order, which the executor's early-exit logic relies on:
+    when the bound is lowered to [i], every index [<= i] has already been
+    dispatched and will complete. *)
+
+type t
+
+val create : length:int -> t
+(** A queue over indices [0 .. length-1], initially unbounded. *)
+
+val take : t -> int option
+(** Claim the next index; [None] once the queue is exhausted or the next
+    index lies beyond the current bound (the calling worker should stop —
+    later takes only return higher indices). *)
+
+val cap : t -> int -> unit
+(** [cap t i] lowers the bound to [min bound i]: indices greater than the
+    bound are no longer handed out. Called when a job's outcome satisfies
+    the executor's stop predicate, so work provably beyond the reduced
+    prefix is never started. Monotone and race-safe. *)
+
+val bound : t -> int
+(** Current bound ([max_int] when never capped). *)
+
+val length : t -> int

@@ -35,6 +35,9 @@ and t = {
       (* generation counter: lets a completion detect that the channel was
          (legitimately) re-acquired at the very instant it ended *)
   mutable down : bool;
+  mutable debug_log : (string -> unit) option;
+      (* per-bus, not a module global: a bus belongs to one testbed, and
+         testbeds on different domains must not share hooks *)
 }
 
 let backoff_slot = 51_200 (* ns; the classic Ethernet slot time *)
@@ -55,6 +58,7 @@ let create engine config ~n =
       pending = [];
       tx_id = 0;
       down = false;
+      debug_log = None;
     }
   in
   let mk i =
@@ -88,10 +92,10 @@ let finish_frame ep =
 let contention_delay t =
   interframe_gap + Vw_util.Prng.int t.prng 4_000
 
-let debug_log : (string -> unit) option ref = ref None
+let set_debug_log t f = t.debug_log <- f
 
 let log t fmt =
-  match !debug_log with
+  match t.debug_log with
   | None -> Printf.ikfprintf (fun _ -> ()) () fmt
   | Some f ->
       Printf.ksprintf

@@ -32,5 +32,7 @@ val set_down : t -> bool -> unit
 val debug_state : t -> string
 (** Internal state dump for debugging; not part of the stable API. *)
 
-val debug_log : (string -> unit) option ref
-(** Event-trace hook for debugging; not part of the stable API. *)
+val set_debug_log : t -> (string -> unit) option -> unit
+(** Event-trace hook for debugging; not part of the stable API. Per-bus
+    state (never a module global) so testbeds running on different domains
+    cannot race on it. *)

@@ -34,24 +34,30 @@ let exponential t ~mean =
   -.mean *. log u
 
 let default_run_seed = 42
-let memo_run_seed = ref None
 
-let run_seed () =
-  match !memo_run_seed with
+(* An Atomic, not a ref: the memo may be read from every worker domain of a
+   parallel campaign. The computation is a pure function of the environment,
+   so a lost race just recomputes the same value; compare_and_set keeps the
+   published value unique. *)
+let memo_run_seed = Atomic.make None
+
+let compute_run_seed () =
+  match Sys.getenv_opt "VW_SEED" with
+  | None | Some "" -> default_run_seed
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "warning: ignoring unparsable VW_SEED=%S\n%!" v;
+          default_run_seed)
+
+let rec run_seed () =
+  match Atomic.get memo_run_seed with
   | Some s -> s
   | None ->
-      let s =
-        match Sys.getenv_opt "VW_SEED" with
-        | None | Some "" -> default_run_seed
-        | Some v -> (
-            match int_of_string_opt (String.trim v) with
-            | Some s -> s
-            | None ->
-                Printf.eprintf "warning: ignoring unparsable VW_SEED=%S\n%!" v;
-                default_run_seed)
-      in
-      memo_run_seed := Some s;
-      s
+      let s = compute_run_seed () in
+      if Atomic.compare_and_set memo_run_seed None (Some s) then s
+      else run_seed ()
 
 let with_seed_on_failure f =
   try f ()

@@ -38,7 +38,16 @@ val exponential : t -> mean:float -> float
 val run_seed : unit -> int
 (** The run-level seed shared by every randomized test in a process: the
     value of [VW_SEED] if set to an integer, else 42. Memoized on first
-    read so one run cannot mix seeds. *)
+    read so one run cannot mix seeds.
+
+    Domain-ownership invariant: this is the {e only} process-global state
+    in the library, and it is read-only after initialization (the memo is
+    an [Atomic] whose value is a pure function of the environment, so a
+    racing first read is benign). Everything else a simulation touches — a
+    [Prng.t], an engine, a testbed — must be created by, and stay owned by,
+    the job that uses it; parallel campaign workers ({!Vw_exec}) never
+    share generators, and the executor forces this memo before spawning
+    domains. *)
 
 val with_seed_on_failure : (unit -> 'a) -> 'a
 (** [with_seed_on_failure f] runs [f ()]; if it raises, prints the run seed

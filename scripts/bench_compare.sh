@@ -52,7 +52,11 @@ flatten() {
       (if (.obs_ablation.recording_ns_per_packet? // empty) != "" then
          { key: "obs_ablation.recording_ns_per_packet",
            value: .obs_ablation.recording_ns_per_packet }
-       else empty end)
+       else empty end),
+      (.campaign // {} | to_entries[]
+       | select(.value | type == "object" and has("wall_s"))
+       | { key: ("campaign." + .key + ".wall_s"),
+           value: .value.wall_s })
     ]
     | .[] | select(.value != null) | "\(.key) \(.value)"
   ' "$1"

@@ -24,5 +24,6 @@ let () =
          Test_arp.suite;
          Test_stress.suite;
          Test_check.suite;
+         Test_exec.suite;
          Test_golden.suite;
        ])

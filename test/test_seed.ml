@@ -3,7 +3,13 @@
    Each qcheck property draws from a Random.State seeded with
    [Vw_util.Prng.run_seed] — the value of VW_SEED when set, else 42 — and a
    failing run prints a [VW_SEED=…] replay hint on stderr. Set QCHECK_SEED
-   too if you want to pin qcheck's own generator independently. *)
+   too if you want to pin qcheck's own generator independently.
+
+   Invariant: [Prng.run_seed] memoizes atomically and is forced before any
+   executor domains spawn, so parallel campaign tests (test_exec) and
+   sequential qcheck suites observe the same seed. Tests themselves run on
+   the main domain; only Vw_exec jobs execute off it, and those must stay
+   self-contained (no shared mutable state beyond the documented atomics). *)
 
 let qtest test =
   let rand = Random.State.make [| Vw_util.Prng.run_seed () |] in
