@@ -78,6 +78,44 @@ let udp_overhead_script_at ~match_first ~n_filters ~actions =
 let udp_overhead_script ~n_filters ~actions =
   udp_overhead_script_at ~match_first:false ~n_filters ~actions
 
+(* --- adversarial filter tables for the classification index --- *)
+
+let adversarial_scenario =
+  "END\n" ^ node_table ^ "SCENARIO adv_index\n"
+  ^ "PING: (udp_ping, node1, node2, RECV)\n"
+  ^ "(TRUE) >> ENABLE_CNTR( PING );\n" ^ "END\n"
+
+(* Every filter pins the discriminating (34, 2) window to the measured
+   flow's source port, so the whole table lands in ONE bucket and the
+   indexed scan degenerates to the linear one. The pads are told apart
+   only by a second tuple at a private payload offset whose value (0xaa)
+   never occurs in the probe frame; the real filter comes last. *)
+let shared_bucket_script ~n_filters =
+  let pads =
+    String.concat ""
+      (List.init (max 0 (n_filters - 1)) (fun k ->
+           Printf.sprintf "pad%d: (34 2 0x1388), (%d 1 0xaa)\n" k (42 + k)))
+  in
+  "FILTER_TABLE\n" ^ pads
+  ^ "udp_ping: (34 2 0x1388), (36 2 0x1389)\n"
+  ^ adversarial_scenario
+
+(* Every pad constrains the same (34, 2) window but only under a mask, so
+   none of them is indexable: they all fall into the always-scanned
+   fallback array and the index's single useful bucket (the real filter)
+   buys nothing. Masked values 0xe000+16k never match the probe's
+   0x1388 under 0xfff0. *)
+let masked_fallback_script ~n_filters =
+  let pads =
+    String.concat ""
+      (List.init (max 0 (n_filters - 1)) (fun k ->
+           Printf.sprintf "pad%d: (34 2 0xfff0 0x%04x)\n" k
+             (0xe000 + (k lsl 4))))
+  in
+  "FILTER_TABLE\n" ^ pads
+  ^ "udp_ping: (34 2 0x1388), (36 2 0x1389)\n"
+  ^ adversarial_scenario
+
 (* The CPU-cost model used for the intrusiveness experiments: calibrated so
    that the 25-filter + 25-action + RLL configuration lands in the paper's
    "below 10% of the normal" band on this testbed's RTT. *)

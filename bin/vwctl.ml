@@ -239,10 +239,19 @@ let events_capacity_arg =
 (* --- the shared campaign option block ---
 
    Every campaign command (run --repeat, suite, fuzz) takes the same
-   --jobs/--seed/--stats-json trio through this one term, so flag names,
-   defaults, semantics and exit codes cannot drift between subcommands. *)
+   --jobs/--chunk/--seed/--stats-json block through this one term, so flag
+   names, defaults, clamping, semantics and exit codes cannot drift
+   between subcommands. --jobs validation lives here and nowhere else:
+   values below 1 clamp up, values above the machine's recommended domain
+   count clamp down, each with a stderr warning (stdout stays reserved for
+   deterministic campaign output). *)
 
-type campaign_opts = { jobs : int; seed : int option; stats_json : bool }
+type campaign_opts = {
+  jobs : int;
+  chunk : int option;
+  seed : int option;
+  stats_json : bool;
+}
 
 let campaign_opts_term =
   let jobs_arg =
@@ -252,8 +261,22 @@ let campaign_opts_term =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
             "Worker domains for the campaign (default: the machine's \
-             recommended domain count). Campaign output is byte-identical \
-             at every $(docv); only the wall-clock time changes.")
+             recommended domain count, which is also the cap — higher \
+             values clamp with a warning). Campaign output is \
+             byte-identical at every $(docv); only the wall-clock time \
+             changes.")
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk" ] ~docv:"N"
+          ~doc:
+            "Jobs each worker domain claims from the queue at a time \
+             (default: auto-tuned from campaign size and $(b,--jobs)). \
+             Larger chunks amortize scheduling overhead; smaller ones \
+             balance load. Pure scheduling knob — output is identical at \
+             any value.")
   in
   let seed_arg =
     Arg.(
@@ -273,15 +296,33 @@ let campaign_opts_term =
              report moves to stderr. Campaigns emit schema vw-campaign/1; \
              a single $(b,run) emits its metrics registry (vw-metrics/1).")
   in
-  let v jobs seed stats_json =
+  let v jobs chunk seed stats_json =
+    let recommended = Vw_exec.Executor.default_jobs () in
     let jobs =
       match jobs with
-      | Some n -> max 1 n
-      | None -> Vw_exec.Executor.default_jobs ()
+      | None -> recommended
+      | Some n when n < 1 ->
+          Printf.eprintf "warning: --jobs %d clamped to 1\n%!" n;
+          1
+      | Some n when n > recommended ->
+          Printf.eprintf
+            "warning: --jobs %d exceeds this machine's recommended domain \
+             count; clamped to %d\n\
+             %!"
+            n recommended;
+          recommended
+      | Some n -> n
     in
-    { jobs; seed; stats_json }
+    let chunk =
+      match chunk with
+      | Some c when c < 1 ->
+          Printf.eprintf "warning: --chunk %d clamped to 1\n%!" c;
+          Some 1
+      | c -> c
+    in
+    { jobs; chunk; seed; stats_json }
   in
-  Term.(const v $ jobs_arg $ seed_arg $ stats_json_arg)
+  Term.(const v $ jobs_arg $ chunk_arg $ seed_arg $ stats_json_arg)
 
 let first_line s =
   match String.index_opt s '\n' with
@@ -363,7 +404,8 @@ let run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes ~duration
               (seed, Buffer.contents b))
   in
   let outcomes =
-    Vw_exec.Executor.run ~jobs:opts.jobs (Vw_exec.Plan.init repeat trial)
+    Vw_exec.Executor.run ~jobs:opts.jobs ?chunk:opts.chunk
+      (Vw_exec.Plan.init repeat trial)
   in
   let human =
     if opts.stats_json then Format.err_formatter else Format.std_formatter
@@ -487,7 +529,9 @@ let run_cmd =
         Printf.eprintf "error: %s\n" e;
         1
     | Ok src -> (
-        match Vw_fsl.Compile.parse_and_compile src with
+        (* the cache makes this validation compile the campaign's one miss:
+           every --repeat trial's own deploy then hits *)
+        match Vw_fsl.Compile_cache.parse_and_compile src with
         | Error e ->
             Printf.eprintf "%s: %s\n" script_path e;
             1
@@ -1027,8 +1071,8 @@ let suite_cmd =
       in
       let observe = campaign_out <> None in
       let report =
-        Vw_core.Suite.run ~jobs:opts.jobs ~observe ?seed:opts.seed
-          ~stop_on_failure cases
+        Vw_core.Suite.run ~jobs:opts.jobs ?chunk:opts.chunk ~observe
+          ?seed:opts.seed ~stop_on_failure cases
       in
       let human =
         if opts.stats_json then Format.err_formatter else Format.std_formatter
@@ -1136,6 +1180,7 @@ let fuzz_cmd =
             save_failing;
             defect;
             jobs = opts.jobs;
+            chunk = opts.chunk;
           }
         in
         let ppf =

@@ -8,6 +8,7 @@ type config = {
   defect : Oracles.defect;
   progress_every : int;
   jobs : int;
+  chunk : int option;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     defect = Oracles.No_defect;
     progress_every = 50;
     jobs = 1;
+    chunk = None;
   }
 
 type found = {
@@ -175,7 +177,7 @@ let execute ?(ppf = Format.std_formatter) cfg =
      main domain. *)
   let plan = Vw_exec.Plan.init cfg.runs (case_job cfg) in
   let outcomes =
-    Vw_exec.Executor.run ~jobs:cfg.jobs
+    Vw_exec.Executor.run ~jobs:cfg.jobs ?chunk:cfg.chunk
       ~stop_after:(fun o -> not (Vw_exec.Outcome.passed o))
       plan
   in

@@ -20,11 +20,15 @@ type config = {
   defect : Oracles.defect;
   progress_every : int;  (** 0 silences progress lines *)
   jobs : int;  (** worker domains; 1 = run on the calling domain *)
+  chunk : int option;
+      (** cases claimed per worker draw; [None] = auto-tuned
+          ({!Vw_exec.Executor.auto_chunk}). Pure scheduling knob: output
+          is identical at any value. *)
 }
 
 val default_config : config
 (** 200 runs, seed {!Vw_util.Prng.run_seed}, no shrinking, no defect,
-    progress every 50 runs, [jobs = 1]. *)
+    progress every 50 runs, [jobs = 1], auto chunk. *)
 
 type found = {
   run_index : int;

@@ -29,7 +29,9 @@ let node_name_of tables nid =
   else Printf.sprintf "node#%d" nid
 
 let prepare ?controller testbed ~script =
-  match Vw_fsl.Compile.parse_and_compile script with
+  (* via the compile cache: a campaign deploying the same script per trial
+     compiles it once per process, not once per job *)
+  match Vw_fsl.Compile_cache.parse_and_compile script with
   | Error e -> Error e
   | Ok tables -> (
       let controller_name =

@@ -36,7 +36,9 @@ type outcome = {
 type report = { outcomes : outcome list; passed : int; failed : int }
 
 let run_case ?(observe = false) c =
-  match Vw_fsl.Compile.parse_and_compile c.c_script with
+  (* cached: the tables are immutable after compile (see Compile_cache),
+     so concurrent cases replaying one script share a single table set *)
+  match Vw_fsl.Compile_cache.parse_and_compile c.c_script with
   | Error e -> (Error e, None, [])
   | Ok tables ->
       let testbed = Testbed.of_node_table ?config:c.c_config tables in
@@ -96,14 +98,14 @@ let report_of_outcomes outcomes =
     failed = List.length (List.filter (fun o -> not o.o_ok) outcomes);
   }
 
-let run ?(jobs = 1) ?observe ?seed ?(stop_on_failure = false) cases =
+let run ?(jobs = 1) ?chunk ?observe ?seed ?(stop_on_failure = false) cases =
   let plan = plan ?observe ?seed cases in
   let stop_after =
     if stop_on_failure then
       Some (fun (o : _ Vw_exec.Outcome.t) -> not (Vw_exec.Outcome.passed o))
     else None
   in
-  let outcomes = Vw_exec.Executor.run ~jobs ?stop_after plan in
+  let outcomes = Vw_exec.Executor.run ~jobs ?chunk ?stop_after plan in
   let outcomes =
     List.map
       (fun (o : _ Vw_exec.Outcome.t) ->

@@ -50,13 +50,16 @@ val plan : ?observe:bool -> ?seed:int -> case list -> outcome Vw_exec.Plan.t
 
 val run :
   ?jobs:int ->
+  ?chunk:int ->
   ?observe:bool ->
   ?seed:int ->
   ?stop_on_failure:bool ->
   case list ->
   report
 (** Runs the cases in order ([jobs = 1], the default) or across [jobs]
-    domains — same report either way. With [stop_on_failure] (default
+    persistent pool domains, each claiming [chunk] cases at a time (see
+    {!Vw_exec.Executor.run}) — same report at every [jobs] and [chunk]
+    combination. With [stop_on_failure] (default
     false) the report is cut at the first mismatch in case order; cases
     beyond it are skipped (sequentially) or discarded (in parallel). A
     case whose worker raises is reported as that case failing with

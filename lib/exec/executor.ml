@@ -72,38 +72,71 @@ let run_sequential ?stop_after plan =
   in
   go 0 []
 
-let run_parallel ~jobs ?stop_after plan =
+(* Aim for a few chunks per worker: enough slack that an unlucky worker
+   stuck with slow jobs sheds load to the others, large enough that a
+   256-trial campaign claims spans of dozens of jobs instead of hammering
+   the shared counter per scenario. *)
+let auto_chunk ~jobs n = max 1 (min 32 (n / (jobs * 4)))
+
+let run_parallel ~pool ~jobs ~chunk ?stop_after plan =
   let n = Plan.length plan in
   (* force the process-wide seed memo on the main domain: workers must only
      ever read it (see Vw_util.Prng.run_seed) *)
   ignore (Vw_util.Prng.run_seed ());
-  let queue = Work_queue.create ~length:n in
+  let chunk =
+    match chunk with Some c -> max 1 c | None -> auto_chunk ~jobs n
+  in
+  let queue = Work_queue.create ~chunk ~length:n () in
   let slots = Array.make n None in
   let worker () =
     let rec loop () =
       match Work_queue.take queue with
       | None -> ()
-      | Some i ->
-          let o = run_job plan i in
-          slots.(i) <- Some o;
-          (match stop_after with
-          | Some p when p o -> Work_queue.cap queue i
-          | _ -> ());
+      | Some (lo, hi) ->
+          let rec step i =
+            (* a claimed span may straddle a lowered bound: never start an
+               index above it (indices at or below always run, which the
+               reducer's cut relies on) *)
+            if i < hi && i <= Work_queue.bound queue then begin
+              let o = run_job plan i in
+              slots.(i) <- Some o;
+              (match stop_after with
+              | Some p when p o -> Work_queue.cap queue i
+              | _ -> ());
+              step (i + 1)
+            end
+          in
+          step lo;
           loop ()
     in
     loop ()
   in
-  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
-  List.iter Domain.join domains;
+  (* the calling domain is the extra worker, so [jobs - 1] from the pool *)
+  Pool.run pool ~workers:(jobs - 1) worker;
   let outcomes =
     Array.to_list slots |> List.filter_map (fun o -> o)
   in
   reduce ?stop_after ~plan_length:n outcomes
 
-let run ?(jobs = 1) ?stop_after plan =
+let effective_jobs ~jobs = max 1 (min jobs (default_jobs ()))
+
+let run ?(jobs = 1) ?chunk ?pool ?stop_after plan =
   let n = Plan.length plan in
   if n = 0 then []
   else
-    let jobs = max 1 (min jobs n) in
+    (* On the implicit-pool path, never run more domains than the machine
+       has cores: for CPU-bound deterministic jobs, oversubscription only
+       multiplies minor-GC barriers (every minor collection synchronizes
+       all domains, and a parked domain must be scheduled to reach its
+       safepoint). Passing an explicit [pool] opts out — benchmarks and
+       tests that need to exercise the parallel path regardless of the
+       host's core count. *)
+    let jobs =
+      match pool with
+      | Some _ -> max 1 (min jobs n)
+      | None -> min (effective_jobs ~jobs) n
+    in
     if jobs = 1 then run_sequential ?stop_after plan
-    else run_parallel ~jobs ?stop_after plan
+    else
+      let pool = match pool with Some p -> p | None -> Pool.global () in
+      run_parallel ~pool ~jobs ~chunk ?stop_after plan

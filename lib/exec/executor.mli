@@ -10,28 +10,53 @@
     Preconditions on jobs (see {!Job}): each owns all the mutable state it
     touches (testbed, engine, PRNGs, recorders, metrics) and never prints.
     The executor forces the process-wide {!Vw_util.Prng.run_seed} memo
-    before spawning domains so no worker races on its initialization. *)
+    before handing work to pool domains so no worker races on its
+    initialization. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
 
+val effective_jobs : jobs:int -> int
+(** [max 1 (min jobs (default_jobs ()))] — the parallelism {!run} actually
+    uses on the implicit-pool path. Requesting more domains than the
+    machine has cores turns parallelism into pure overhead for CPU-bound
+    jobs (every minor collection is a stop-the-world barrier across all
+    domains, and an unscheduled domain delays everyone's safepoint), so
+    the default path refuses to oversubscribe. Exposed so benches can
+    record the parallelism a level really ran with. *)
+
+val auto_chunk : jobs:int -> int -> int
+(** [auto_chunk ~jobs n] — the chunk size used when none is given: about
+    four spans per worker, clamped to [1 .. 32]. Exposed so benches and
+    reports can record the effective chunk. *)
+
 val run :
   ?jobs:int ->
+  ?chunk:int ->
+  ?pool:Pool.t ->
   ?stop_after:('a Outcome.t -> bool) ->
   'a Plan.t ->
   'a Outcome.t list
 (** [run ~jobs plan] executes every job and returns outcomes in plan
-    order. [jobs <= 1] runs in the calling domain; otherwise
-    [min jobs (Plan.length plan)] worker domains self-schedule off a shared
-    {!Work_queue}. A job that raises yields a [Crash] outcome; the rest of
-    the plan still runs.
+    order. [jobs] is first capped: to {!effective_jobs} on the
+    implicit-pool path (no oversubscription — see above), and always to
+    [Plan.length plan]; an explicit [pool] honors the full request, for
+    callers that must exercise the parallel path whatever the host
+    (tests, the bench's scaling sweep). [jobs <= 1] after capping runs in
+    the calling domain; otherwise the calling domain plus [jobs - 1]
+    persistent {!Pool} domains (the shared {!Pool.global} unless [pool]
+    is given — never fresh spawns per plan) self-schedule spans of
+    [chunk] consecutive jobs off a shared {!Work_queue}. [chunk] defaults to {!auto_chunk}
+    and is a pure scheduling knob: outcomes are byte-identical at every
+    [jobs] and [chunk] combination. A job that raises yields a [Crash]
+    outcome for that job alone; the rest of its chunk and plan still run.
 
     With [stop_after], the result is truncated (inclusively) at the first
     plan index whose outcome satisfies the predicate. Sequentially, later
-    jobs are never started; in parallel, workers stop claiming indices
-    beyond the earliest satisfying index and any already-running straggler
-    results are discarded by the reducer — either way the returned list is
-    identical. *)
+    jobs are never started; in parallel, workers stop claiming spans
+    beyond the earliest satisfying index (and skip the tail of a claimed
+    span past it) and any already-running straggler results are discarded
+    by the reducer — either way the returned list is identical. *)
 
 val reduce :
   ?stop_after:('a Outcome.t -> bool) ->

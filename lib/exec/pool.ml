@@ -1,0 +1,140 @@
+type t = {
+  lock : Mutex.t;
+  run_lock : Mutex.t;  (* serializes whole [run] calls *)
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable work : (unit -> unit) option;
+  mutable participants : int;  (* pool workers wanted for this generation *)
+  mutable started : int;
+  mutable unfinished : int;  (* started and not yet finished *)
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  mutable spawned : int;
+  mutable runs : int;
+}
+
+type stats = { size : int; spawned : int; runs : int }
+
+let create () =
+  {
+    lock = Mutex.create ();
+    run_lock = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    generation = 0;
+    work = None;
+    participants = 0;
+    started = 0;
+    unfinished = 0;
+    failure = None;
+    stop = false;
+    domains = [];
+    spawned = 0;
+    runs = 0;
+  }
+
+(* One parked worker. It joins a generation at most once (tracked by
+   [last_gen]) and only while fewer than [participants] workers have
+   started it, then parks again. *)
+let worker_loop t ~initial_gen =
+  let rec loop last_gen =
+    Mutex.lock t.lock;
+    while
+      (not t.stop)
+      && (t.generation = last_gen || t.started >= t.participants)
+    do
+      Condition.wait t.work_ready t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      let gen = t.generation in
+      let work = Option.get t.work in
+      t.started <- t.started + 1;
+      t.unfinished <- t.unfinished + 1;
+      Mutex.unlock t.lock;
+      let failed = match work () with () -> None | exception e -> Some e in
+      Mutex.lock t.lock;
+      (match (failed, t.failure) with
+      | Some e, None -> t.failure <- Some e
+      | _ -> ());
+      t.unfinished <- t.unfinished - 1;
+      if t.started >= t.participants && t.unfinished = 0 then
+        Condition.broadcast t.work_done;
+      Mutex.unlock t.lock;
+      loop gen
+    end
+  in
+  loop initial_gen
+
+(* under [t.lock] *)
+let spawn_locked t =
+  let initial_gen = t.generation in
+  let d = Domain.spawn (fun () -> worker_loop t ~initial_gen) in
+  t.domains <- d :: t.domains;
+  t.spawned <- t.spawned + 1
+
+let run t ~workers f =
+  if workers <= 0 then f ()
+  else begin
+    Mutex.lock t.run_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.run_lock)
+      (fun () ->
+        Mutex.lock t.lock;
+        while List.length t.domains < workers do
+          spawn_locked t
+        done;
+        t.generation <- t.generation + 1;
+        t.work <- Some f;
+        t.participants <- workers;
+        t.started <- 0;
+        t.unfinished <- 0;
+        t.failure <- None;
+        t.runs <- t.runs + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.lock;
+        (* the calling domain is participant [workers + 1] *)
+        let own_failure =
+          match f () with () -> None | exception e -> Some e
+        in
+        Mutex.lock t.lock;
+        while not (t.started >= t.participants && t.unfinished = 0) do
+          Condition.wait t.work_done t.lock
+        done;
+        t.work <- None;
+        let pool_failure = t.failure in
+        t.failure <- None;
+        Mutex.unlock t.lock;
+        match (own_failure, pool_failure) with
+        | Some e, _ | None, Some e -> raise e
+        | None, None -> ())
+  end
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { size = List.length t.domains; spawned = t.spawned; runs = t.runs } in
+  Mutex.unlock t.lock;
+  s
+
+let shutdown t =
+  Mutex.lock t.run_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.run_lock)
+    (fun () ->
+      Mutex.lock t.lock;
+      t.stop <- true;
+      Condition.broadcast t.work_ready;
+      let ds = t.domains in
+      t.domains <- [];
+      Mutex.unlock t.lock;
+      List.iter Domain.join ds;
+      Mutex.lock t.lock;
+      (* reusable: workers respawn on the next [run] *)
+      t.stop <- false;
+      Mutex.unlock t.lock)
+
+let global =
+  let p = lazy (let p = create () in at_exit (fun () -> shutdown p); p) in
+  fun () -> Lazy.force p

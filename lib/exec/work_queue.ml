@@ -1,16 +1,24 @@
-type t = { length : int; next : int Atomic.t; limit : int Atomic.t }
+type t = {
+  length : int;
+  chunk : int;
+  next : int Atomic.t;
+  limit : int Atomic.t;
+}
 
-let create ~length =
+let create ?(chunk = 1) ~length () =
   if length < 0 then invalid_arg "Work_queue.create: negative length";
-  { length; next = Atomic.make 0; limit = Atomic.make max_int }
+  if chunk < 1 then invalid_arg "Work_queue.create: chunk < 1";
+  { length; chunk; next = Atomic.make 0; limit = Atomic.make max_int }
 
 let take t =
-  let i = Atomic.fetch_and_add t.next 1 in
-  if i >= t.length || i > Atomic.get t.limit then None else Some i
+  let lo = Atomic.fetch_and_add t.next t.chunk in
+  if lo >= t.length || lo > Atomic.get t.limit then None
+  else Some (lo, min t.length (lo + t.chunk))
 
 let rec cap t i =
   let b = Atomic.get t.limit in
   if i < b && not (Atomic.compare_and_set t.limit b i) then cap t i
 
 let bound t = Atomic.get t.limit
+let chunk t = t.chunk
 let length t = t.length

@@ -1,30 +1,43 @@
-(** The shared index queue worker domains draw jobs from.
+(** The shared index queue worker domains draw jobs from, a chunk at a
+    time.
 
     Jobs in a campaign are coarse (a whole compiled-and-simulated scenario
-    each), so self-scheduling over one atomic counter gets the load balance
-    work stealing would — an idle worker immediately claims the next
-    undispatched index — without per-worker deques. Indices are handed out
+    each), so self-scheduling over one atomic counter gets the load
+    balance work stealing would — an idle worker immediately claims the
+    next undispatched span — without per-worker deques. Chunking batches
+    [chunk] consecutive indices per claim so a worker amortizes the
+    (contended) atomic increment and its cache traffic over many jobs;
+    [chunk = 1] recovers the fully dynamic schedule. Spans are handed out
     in ascending order, which the executor's early-exit logic relies on:
-    when the bound is lowered to [i], every index [<= i] has already been
-    dispatched and will complete. *)
+    when the bound is lowered to [i], every span starting [<= i] has
+    already been dispatched and its holder will run every index up to the
+    bound. *)
 
 type t
 
-val create : length:int -> t
-(** A queue over indices [0 .. length-1], initially unbounded. *)
+val create : ?chunk:int -> length:int -> unit -> t
+(** A queue over indices [0 .. length-1], initially unbounded, handing out
+    spans of [chunk] (default 1) indices.
+    @raise Invalid_argument when [length < 0] or [chunk < 1]. *)
 
-val take : t -> int option
-(** Claim the next index; [None] once the queue is exhausted or the next
-    index lies beyond the current bound (the calling worker should stop —
-    later takes only return higher indices). *)
+val take : t -> (int * int) option
+(** Claim the next span [Some (lo, hi)] covering indices [lo .. hi-1]
+    ([hi - lo <= chunk]; the last span may be short). [None] once the
+    queue is exhausted or the next span starts beyond the current bound —
+    the calling worker should stop, as later takes only return higher
+    spans. A span may straddle the bound: the holder must check {!bound}
+    before each index and skip those above it. *)
 
 val cap : t -> int -> unit
-(** [cap t i] lowers the bound to [min bound i]: indices greater than the
-    bound are no longer handed out. Called when a job's outcome satisfies
-    the executor's stop predicate, so work provably beyond the reduced
-    prefix is never started. Monotone and race-safe. *)
+(** [cap t i] lowers the bound to [min bound i]: spans starting above the
+    bound are no longer handed out, and holders of already-claimed spans
+    skip the indices above it. Called when a job's outcome satisfies the
+    executor's stop predicate; indices [<= bound] are always still
+    executed, which is what the deterministic reducer needs. Monotone and
+    race-safe. *)
 
 val bound : t -> int
 (** Current bound ([max_int] when never capped). *)
 
+val chunk : t -> int
 val length : t -> int

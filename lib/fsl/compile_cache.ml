@@ -1,0 +1,52 @@
+let capacity = 256
+
+type stats = { hits : int; misses : int }
+
+let lock = Mutex.create ()
+let table : (string, (Tables.t, string) result) Hashtbl.t =
+  Hashtbl.create capacity
+
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+
+let parse_and_compile src =
+  let key = Digest.string src in
+  let cached =
+    Mutex.lock lock;
+    let r = Hashtbl.find_opt table key in
+    Mutex.unlock lock;
+    r
+  in
+  match cached with
+  | Some r ->
+      Atomic.incr hit_count;
+      r
+  | None ->
+      Atomic.incr miss_count;
+      (* compile outside the lock: a slow script must not serialize other
+         domains' lookups *)
+      let r = Compile.parse_and_compile src in
+      Mutex.lock lock;
+      (if Hashtbl.length table >= capacity then Hashtbl.reset table);
+      (match Hashtbl.find_opt table key with
+      | Some winner ->
+          (* a racing domain compiled it first; keep one canonical entry *)
+          ignore winner
+      | None -> Hashtbl.add table key r);
+      Mutex.unlock lock;
+      r
+
+let stats () =
+  { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+
+let hit_rate () =
+  let s = stats () in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock;
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0

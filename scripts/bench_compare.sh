@@ -37,6 +37,8 @@ flatten() {
   jq -r '
     [ (.classify_ns // {} | to_entries[]
        | { key: ("classify_ns." + .key), value: .value }),
+      (.classify_adversarial_ns // {} | to_entries[]
+       | { key: ("classify_adversarial_ns." + .key), value: .value }),
       (.pipeline // {} | to_entries[]
        | select(.value | type == "object" and has("ns_per_packet"))
        | { key: ("pipeline." + .key + ".ns_per_packet"),
@@ -64,9 +66,24 @@ flatten() {
 
 old_flat=$(mktemp)
 new_flat=$(mktemp)
-trap 'rm -f "$old_flat" "$new_flat"' EXIT
+trap 'rm -f "$old_flat" "$new_flat" "$old_flat.t" "$new_flat.t"' EXIT
 flatten "$OLD" | sort > "$old_flat"
 flatten "$NEW" | sort > "$new_flat"
+
+# Campaign wall clocks are only comparable between runs on the same core
+# count driving the same number of trials; a 1-core CI baseline vs an
+# 8-core laptop (or a 16-trial baseline vs 256) would flag pure
+# environment skew as a regression. Drop campaign.* from the comparison
+# when either differs.
+old_env=$(jq -r '"\(.campaign.cores // "none") \(.campaign.trials // "none")"' "$OLD")
+new_env=$(jq -r '"\(.campaign.cores // "none") \(.campaign.trials // "none")"' "$NEW")
+if [ "$old_env" != "$new_env" ]; then
+  echo "note: campaign.* skipped (cores/trials differ: old [$old_env] vs new [$new_env])"
+  grep -v '^campaign\.' "$old_flat" > "$old_flat.t" || true
+  mv "$old_flat.t" "$old_flat"
+  grep -v '^campaign\.' "$new_flat" > "$new_flat.t" || true
+  mv "$new_flat.t" "$new_flat"
+fi
 
 status=0
 compared=0

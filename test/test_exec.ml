@@ -29,6 +29,11 @@ let shape_t = Alcotest.(list (triple int string string))
 
 (* --- executor basics --- *)
 
+(* The implicit-pool path caps parallelism at the host's core count; these
+   tests must exercise real worker domains even on a 1-core runner, so
+   they pass the global pool explicitly (joined by its at_exit hook). *)
+let pool = Vw_exec.Pool.global ()
+
 let square_plan n =
   Plan.init n (fun i ->
       Job.v ~label:(Printf.sprintf "sq-%d" i) (fun () ->
@@ -36,7 +41,7 @@ let square_plan n =
 
 let test_jobs_levels_agree () =
   let seq = Executor.run ~jobs:1 (square_plan 9) in
-  let par = Executor.run ~jobs:4 (square_plan 9) in
+  let par = Executor.run ~pool ~jobs:4 (square_plan 9) in
   Alcotest.check shape_t "same outcomes" (List.map shape seq)
     (List.map shape par);
   List.iter2
@@ -58,7 +63,7 @@ let crash_plan n =
 let test_crash_is_per_job () =
   List.iter
     (fun jobs ->
-      let outs = Executor.run ~jobs (crash_plan 6) in
+      let outs = Executor.run ~pool ~jobs (crash_plan 6) in
       Alcotest.(check int) "campaign not aborted" 6 (List.length outs);
       List.iter
         (fun (o : _ Outcome.t) ->
@@ -98,9 +103,102 @@ let test_stop_after_parallel_same_prefix () =
   in
   let stop o = not (Outcome.passed o) in
   let seq = Executor.run ~jobs:1 ~stop_after:stop (plan ()) in
-  let par = Executor.run ~jobs:4 ~stop_after:stop (plan ()) in
+  let par = Executor.run ~pool ~jobs:4 ~stop_after:stop (plan ()) in
   Alcotest.check shape_t "same truncated outcomes" (List.map shape seq)
     (List.map shape par)
+
+(* --- persistent pool: workers are spawned once and reused --- *)
+
+module Pool = Vw_exec.Pool
+
+let test_pool_reuse_across_plans () =
+  let pool = Pool.create () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let baseline = Executor.run ~jobs:1 (square_plan 12) in
+      for _ = 1 to 5 do
+        let par = Executor.run ~pool ~jobs:3 (square_plan 12) in
+        Alcotest.check shape_t "pooled run agrees with sequential"
+          (List.map shape baseline) (List.map shape par)
+      done;
+      let s = Pool.stats pool in
+      Alcotest.(check int) "jobs=3 spawned exactly 2 workers" 2 s.Pool.spawned;
+      Alcotest.(check int) "no domain leak across plans" 2 s.Pool.size;
+      Alcotest.(check int) "five plans served" 5 s.Pool.runs;
+      (* a deeper request grows the pool once; a shallower one reuses it *)
+      ignore (Executor.run ~pool ~jobs:4 (square_plan 12));
+      ignore (Executor.run ~pool ~jobs:2 (square_plan 12));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "grown to 3 workers total" 3 s.Pool.spawned;
+      Alcotest.(check int) "still 3 live" 3 s.Pool.size;
+      Alcotest.(check int) "seven plans served" 7 s.Pool.runs);
+  let s = Pool.stats pool in
+  Alcotest.(check int) "shutdown joined every domain" 0 s.Pool.size
+
+(* --- chunked scheduling is a pure scheduling knob --- *)
+
+let test_chunk_byte_identity () =
+  let baseline = Executor.run ~jobs:1 (square_plan 23) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          let par = Executor.run ~pool ~jobs ~chunk (square_plan 23) in
+          Alcotest.check shape_t
+            (Printf.sprintf "jobs=%d chunk=%d agrees" jobs chunk)
+            (List.map shape baseline) (List.map shape par);
+          List.iter2
+            (fun (a : _ Outcome.t) (b : _ Outcome.t) ->
+              Alcotest.(check (option int)) "same payload" a.Outcome.payload
+                b.Outcome.payload)
+            baseline par)
+        [ 1; 2; 3; 7; 64 ])
+    [ 1; 2; 4 ]
+
+let test_chunk_stop_after_identity () =
+  let plan () =
+    Plan.init 17 (fun i ->
+        Job.v ~label:(Printf.sprintf "j%d" i) (fun () ->
+            Job.result ~verdict:(if i = 5 then `Fail else `Pass) i))
+  in
+  let stop o = not (Outcome.passed o) in
+  let seq = Executor.run ~jobs:1 ~stop_after:stop (plan ()) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          let par = Executor.run ~pool ~jobs ~chunk ~stop_after:stop (plan ()) in
+          Alcotest.check shape_t
+            (Printf.sprintf "cut identical at jobs=%d chunk=%d" jobs chunk)
+            (List.map shape seq) (List.map shape par))
+        [ 1; 3; 8; 32 ])
+    [ 2; 4 ]
+
+(* a crash mid-chunk must not take down the rest of the holder's span *)
+let test_crash_inside_chunk () =
+  List.iter
+    (fun chunk ->
+      let outs = Executor.run ~pool ~jobs:2 ~chunk (crash_plan 12) in
+      Alcotest.(check int) "all jobs reported" 12 (List.length outs);
+      List.iter
+        (fun (o : _ Outcome.t) ->
+          match (o.Outcome.index, o.Outcome.verdict) with
+          | 3, Outcome.Crash msg ->
+              if not (contains ~sub:"boom" msg) then
+                Alcotest.failf "crash message %S lost the exception" msg
+          | 3, _ -> Alcotest.fail "job 3 should crash"
+          | _, Outcome.Pass -> ()
+          | i, _ -> Alcotest.failf "job %d should pass" i)
+        outs)
+    [ 4; 6; 64 ]
+
+let test_auto_chunk_bounds () =
+  Alcotest.(check int) "mid-size plan" 16 (Executor.auto_chunk ~jobs:4 256);
+  Alcotest.(check int) "tiny plan floors at 1" 1 (Executor.auto_chunk ~jobs:2 8);
+  Alcotest.(check int) "huge plan caps at 32"
+    32
+    (Executor.auto_chunk ~jobs:1 100_000)
 
 (* --- the reducer alone --- *)
 
@@ -303,6 +401,16 @@ let suite =
           test_stop_after_skips_rest;
         Alcotest.test_case "stop_after truncates identically in parallel"
           `Quick test_stop_after_parallel_same_prefix;
+        Alcotest.test_case "pool reuses workers across plans" `Quick
+          test_pool_reuse_across_plans;
+        Alcotest.test_case "chunk size never changes the outcome list" `Quick
+          test_chunk_byte_identity;
+        Alcotest.test_case "chunked stop_after cuts identically" `Quick
+          test_chunk_stop_after_identity;
+        Alcotest.test_case "a crash mid-chunk spares the rest of the chunk"
+          `Quick test_crash_inside_chunk;
+        Alcotest.test_case "auto_chunk stays within [1, 32]" `Quick
+          test_auto_chunk_bounds;
         Alcotest.test_case "reducer rejects missing/duplicate/out-of-range"
           `Quick test_reduce_rejects_bad_input;
         Test_seed.qtest reducer_order_prop;

@@ -413,6 +413,69 @@ let test_codec_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated tables accepted"
 
+(* --- the compile cache --- *)
+
+let test_cache_hit_is_fresh_compile () =
+  Compile_cache.reset ();
+  let src = Vw_scripts.tcp_ss_ca in
+  let fresh = compile_ok src in
+  let first =
+    match Compile_cache.parse_and_compile src with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "cache miss failed to compile: %s" e
+  in
+  check Alcotest.bool "miss equals a fresh compile" true
+    (Tables.equal fresh first);
+  let second =
+    match Compile_cache.parse_and_compile src with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "cache hit failed: %s" e
+  in
+  check Alcotest.bool "hit returns the cached tables" true (first == second);
+  let s = Compile_cache.stats () in
+  check Alcotest.int "one miss" 1 s.Compile_cache.misses;
+  check Alcotest.int "one hit" 1 s.Compile_cache.hits;
+  check (Alcotest.float 1e-9) "hit rate 0.5" 0.5 (Compile_cache.hit_rate ());
+  Compile_cache.reset ()
+
+let test_cache_distinct_scripts_distinct_entries () =
+  Compile_cache.reset ();
+  let a =
+    match Compile_cache.parse_and_compile Vw_scripts.tcp_ss_ca with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let b =
+    match Compile_cache.parse_and_compile Vw_scripts.rether_failure with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "different scripts, different tables" false
+    (Tables.equal a b);
+  let s = Compile_cache.stats () in
+  check Alcotest.int "two misses" 2 s.Compile_cache.misses;
+  check Alcotest.int "no hits" 0 s.Compile_cache.hits;
+  Compile_cache.reset ()
+
+let test_cache_caches_errors () =
+  Compile_cache.reset ();
+  let bad = "FILTER_TABLE\nbroken ((((\nEND\n" in
+  let e1 =
+    match Compile_cache.parse_and_compile bad with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "broken script accepted"
+  in
+  let e2 =
+    match Compile_cache.parse_and_compile bad with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "broken script accepted on replay"
+  in
+  check Alcotest.string "same error text" e1 e2;
+  let s = Compile_cache.stats () in
+  check Alcotest.int "error cached: one miss" 1 s.Compile_cache.misses;
+  check Alcotest.int "error cached: one hit" 1 s.Compile_cache.hits;
+  Compile_cache.reset ()
+
 let prop_wire_i64_roundtrip =
   QCheck.Test.make ~name:"wire i64 roundtrip (incl. negatives)" ~count:500
     QCheck.(frequency [ (5, int); (1, oneofl [ min_int; max_int; -1; 0; 1 ]) ])
@@ -465,6 +528,15 @@ let suite =
         Alcotest.test_case "printed script compiles" `Quick
           test_printed_script_compiles;
         Alcotest.test_case "fractional durations" `Quick test_fractional_duration;
+      ] );
+    ( "fsl.compile_cache",
+      [
+        Alcotest.test_case "hit equals a fresh compile" `Quick
+          test_cache_hit_is_fresh_compile;
+        Alcotest.test_case "distinct scripts get distinct entries" `Quick
+          test_cache_distinct_scripts_distinct_entries;
+        Alcotest.test_case "errors are cached too" `Quick
+          test_cache_caches_errors;
       ] );
     ( "fsl.codec",
       [
