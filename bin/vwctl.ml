@@ -11,11 +11,13 @@
      vwctl cover   script.fsl [opts]     FSL coverage: which rules/filters fired
      vwctl report  script.fsl [opts]     self-contained HTML run report
      vwctl fuzz    [--runs N --seed S]   property-based scenario fuzzing
+     vwctl events  export FILE [-o OUT]  convert event logs (binary <-> JSONL)
      vwctl script  figure5|figure6       print the paper's embedded scripts
 
    cover and report also work offline from a saved `vwctl run --events`
-   JSONL file (--events FILE), making the vw-events/1 schema a real
-   interchange format.
+   log (--events FILE) in either schema — vw-events/1 JSONL or the
+   vw-events/2 binary flight-recorder format (--events-format bin),
+   auto-detected — making both real interchange formats.
 
    Wherever a SCRIPT is expected, the embedded names figure5, figure6 and
    quickstart work as well as file paths. *)
@@ -225,16 +227,51 @@ let rll_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
-let default_events_capacity = 65536
+(* Two ring-capacity policies: the always-on recorder (run --stats,
+   --metrics) keeps a small cache-resident ring for engine-speed
+   recording; anything that consumes the event history itself (--events,
+   --trace-json, explain/cover/report) defaults to a larger ring because
+   evicted events silently disappear from the analysis. *)
+let default_events_capacity = 16384
+let analysis_events_capacity = 65536
 
 let events_capacity_arg =
   Arg.(
-    value & opt int default_events_capacity
+    value & opt (some int) None
     & info [ "events-capacity" ] ~docv:"N"
         ~doc:
-          "Per-node flight-recorder ring capacity. Beyond it the oldest \
-           events are overwritten, which breaks causal chains; a warning is \
-           printed when that happens.")
+          (Printf.sprintf
+             "Per-node flight-recorder ring capacity. Beyond it the oldest \
+              events are overwritten, which breaks causal chains; a warning \
+              is printed when that happens. Larger rings trade recording \
+              speed (cache locality) for retention. Default %d, or %d when \
+              the event history itself is consumed (--events, --trace-json, \
+              and the explain/cover/report commands)."
+             default_events_capacity analysis_events_capacity))
+
+let events_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("bin", `Bin) ]) `Json
+    & info [ "events-format" ] ~docv:"FMT"
+        ~doc:
+          "Event-log format to write: $(b,json) is vw-events/1 JSON Lines \
+           (the default — what jq and existing consumers read), $(b,bin) \
+           the compact vw-events/2 binary flight-recorder format (convert \
+           later with $(b,vwctl events export)). Readers auto-detect, so \
+           analysis commands accept either.")
+
+(* One writer for the vw-events/1 stream, shared by `run --events` and
+   `events export` — the two must stay byte-identical for the same run. *)
+let write_events_jsonl oc ~scenario ~recorded ~dropped events =
+  Printf.fprintf oc
+    "{\"schema\":\"vw-events/1\",\"scenario\":%S,\"recorded\":%d,\"dropped\":%d}\n"
+    scenario recorded dropped;
+  List.iter
+    (fun e ->
+      output_string oc (Event.to_json e);
+      output_char oc '\n')
+    events
 
 (* --- the shared campaign option block ---
 
@@ -487,8 +524,9 @@ let run_cmd =
       & info [ "events" ] ~docv:"FILE"
           ~doc:
             "Enable the flight recorder and write the merged event log to \
-             $(docv) as JSON Lines (schema vw-events/1; first line is a \
-             header object).")
+             $(docv) — JSON Lines (schema vw-events/1; first line is a \
+             header object) by default, or vw-events/2 binary with \
+             $(b,--events-format bin).")
   in
   let metrics_arg =
     Arg.(
@@ -520,9 +558,17 @@ let run_cmd =
              for control hops).")
   in
   let run script_path workload bytes duration rll trace_n verbose counters
-      show_stats opts repeat events_out metrics_out pcap_out trace_json_out
-      events_capacity =
+      show_stats opts repeat events_out events_format metrics_out pcap_out
+      trace_json_out events_capacity =
     setup_logs verbose;
+    let events_capacity =
+      match events_capacity with
+      | Some c -> c
+      | None ->
+          if events_out <> None || trace_json_out <> None then
+            analysis_events_capacity
+          else default_events_capacity
+    in
     let stats_json = opts.stats_json in
     match load_script script_path with
     | Error e ->
@@ -635,17 +681,21 @@ let run_cmd =
                 | _ -> ());
                 (match events_out with
                 | Some path ->
-                    let oc = open_out path in
-                    Printf.fprintf oc
-                      "{\"schema\":\"vw-events/1\",\"scenario\":%S,\"recorded\":%d,\"dropped\":%d}\n"
-                      result.Scenario.scenario_name
-                      (Testbed.events_recorded testbed)
-                      (Testbed.events_dropped testbed);
-                    List.iter
-                      (fun e ->
-                        output_string oc (Event.to_json e);
-                        output_char oc '\n')
-                      (Testbed.events testbed);
+                    let oc = open_out_bin path in
+                    (match events_format with
+                    | `Json ->
+                        write_events_jsonl oc
+                          ~scenario:result.Scenario.scenario_name
+                          ~recorded:(Testbed.events_recorded testbed)
+                          ~dropped:(Testbed.events_dropped testbed)
+                          (Testbed.events testbed)
+                    | `Bin -> (
+                        match
+                          Testbed.events_binary testbed
+                            ~scenario:result.Scenario.scenario_name
+                        with
+                        | Some data -> output_string oc data
+                        | None -> ()));
                     close_out oc
                 | None -> ());
                 (match trace_json_out with
@@ -685,8 +735,8 @@ let run_cmd =
     Term.(
       const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
       $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg
-      $ campaign_opts_term $ repeat_arg $ events_arg $ metrics_arg $ pcap_arg
-      $ trace_json_arg $ events_capacity_arg)
+      $ campaign_opts_term $ repeat_arg $ events_arg $ events_format_arg
+      $ metrics_arg $ pcap_arg $ trace_json_arg $ events_capacity_arg)
 
 (* --- explain --- *)
 
@@ -702,6 +752,7 @@ let explain_cmd =
   in
   let run script_path rule workload bytes duration rll verbose capacity =
     setup_logs verbose;
+    let capacity = Option.value capacity ~default:analysis_events_capacity in
     match load_script script_path with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
@@ -772,8 +823,9 @@ let offline_events_arg =
     & opt (some string) None
     & info [ "events" ] ~docv:"FILE"
         ~doc:
-          "Analyze the saved vw-events/1 JSON Lines log in $(docv) (written \
-           by $(b,vwctl run --events)) instead of running the scenario.")
+          "Analyze the saved event log in $(docv) (written by $(b,vwctl run \
+           --events); vw-events/1 JSONL or vw-events/2 binary, \
+           auto-detected) instead of running the scenario.")
 
 let cover_cmd =
   let json_arg =
@@ -794,6 +846,7 @@ let cover_cmd =
   let run script_path events_in json_out fail_under workload bytes duration
       rll verbose capacity =
     setup_logs verbose;
+    let capacity = Option.value capacity ~default:analysis_events_capacity in
     match load_script script_path with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
@@ -857,6 +910,7 @@ let report_cmd =
   let run script_path events_in metrics_in output workload bytes duration rll
       verbose capacity =
     setup_logs verbose;
+    let capacity = Option.value capacity ~default:analysis_events_capacity in
     match load_script script_path with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
@@ -1252,6 +1306,70 @@ let script_cmd =
        ~doc:"Print one of the paper's embedded scenario scripts.")
     Term.(const run $ which_arg)
 
+(* --- events (log utilities) --- *)
+
+let events_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Event log to read: vw-events/1 JSONL or vw-events/2 binary, \
+             auto-detected.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let export_cmd =
+    let run input output format verbose =
+      setup_logs verbose;
+      match Vw_report.Events_io.load input with
+      | Error e ->
+          Printf.eprintf "%s: %s\n" input e;
+          1
+      | Ok (header, events) ->
+          let scenario, recorded, dropped =
+            match header with
+            | Some { Vw_report.Events_io.scenario; recorded; dropped } ->
+                (scenario, recorded, dropped)
+            | None -> ("", List.length events, 0)
+          in
+          let write oc =
+            match format with
+            | `Json -> write_events_jsonl oc ~scenario ~recorded ~dropped events
+            | `Bin ->
+                output_string oc
+                  (Vw_obs.Binlog.of_events ~scenario ~recorded ~dropped events)
+          in
+          (match output with
+          | Some path ->
+              let oc = open_out_bin path in
+              write oc;
+              close_out oc
+          | None -> write stdout);
+          0
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Convert an event log between schemas: read either format \
+            (auto-detected) and write $(b,--events-format) (default json). \
+            The JSONL output is byte-identical to what $(b,vwctl run \
+            --events) writes for the same run, so downstream jq pipelines \
+            and coverage runs cannot tell how the events were captured.")
+      Term.(
+        const run $ input_arg $ output_arg $ events_format_arg $ verbose_arg)
+  in
+  Cmd.group
+    (Cmd.info "events"
+       ~doc:"Event-log utilities (binary \xE2\x86\x94 JSONL conversion).")
+    [ export_cmd ]
+
 let () =
   let doc = "network fault injection and analysis (VirtualWire, ICDCS 2003)" in
   let info = Cmd.info "vwctl" ~version:"1.0.0" ~doc in
@@ -1267,5 +1385,6 @@ let () =
             report_cmd;
             suite_cmd;
             fuzz_cmd;
+            events_cmd;
             script_cmd;
           ]))

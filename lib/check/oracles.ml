@@ -172,6 +172,29 @@ let check_events ~defect (o : Runner.outcome) =
         render_events (List.filteri (fun i _ -> i <> drop) events)
     | _ -> render_events events
   in
+  (* the binary codec must agree with the JSONL path on the same log:
+     serialize to vw-events/2, reload through the same format-sniffing
+     loader, and demand the identical typed events *)
+  let binary_mismatch =
+    let blob =
+      Vw_obs.Binlog.of_events ~scenario:"fuzz" ~recorded:(List.length events)
+        ~dropped:0 events
+    in
+    match Vw_report.Events_io.of_string blob with
+    | Error e -> fail "events_roundtrip" "binary reload failed: %s" e
+    | Ok (_, rb) when List.length rb <> List.length events ->
+        fail "events_roundtrip" "%d events written, %d reloaded from binary"
+          (List.length events) (List.length rb)
+    | Ok (_, rb) -> (
+        match List.find_opt (fun (a, b) -> a <> b) (List.combine events rb) with
+        | Some (a, _) ->
+            fail "events_roundtrip"
+              "event seq %d does not survive the binary round-trip"
+              a.Event.seq
+        | None -> None)
+  in
+  if binary_mismatch <> None then binary_mismatch
+  else
   match Vw_report.Events_io.of_string serialized with
   | Error e -> fail "events_roundtrip" "reload failed: %s" e
   | Ok (_header, reloaded) ->

@@ -32,6 +32,7 @@ type node = {
 
 type observability = {
   obs_metrics : Vw_obs.Metrics.t;
+  obs_strings : Vw_obs.Strtab.t; (* run-shared node-name intern table *)
   obs_recorders : (string * Vw_obs.Recorder.t) list; (* node order *)
 }
 
@@ -152,25 +153,27 @@ let run t ?until () = Vw_sim.Engine.run ?until t.engine
 
 (* --- observability --- *)
 
-let enable_observability ?capacity t =
+let enable_observability ?mode ?capacity t =
   match t.obs with
   | Some _ -> () (* idempotent; recorders survive Fie.reset *)
   | None ->
       let obs_metrics = Vw_obs.Metrics.create () in
+      let obs_strings = Vw_obs.Strtab.create () in
       let seq = ref 0 in
       let clock () = Vw_sim.Engine.now t.engine in
       let obs_recorders =
         List.map
           (fun n ->
             let rec_ =
-              Vw_obs.Recorder.create ?capacity ~node:n.node_name ~clock ~seq ()
+              Vw_obs.Recorder.create ?mode ?capacity ~strings:obs_strings
+                ~node:n.node_name ~clock ~seq ()
             in
             Vw_engine.Fie.set_observability n.node_fie ~recorder:rec_
               ~metrics:obs_metrics;
             (n.node_name, rec_))
           t.all
       in
-      t.obs <- Some { obs_metrics; obs_recorders }
+      t.obs <- Some { obs_metrics; obs_strings; obs_recorders }
 
 let observability_enabled t = t.obs <> None
 
@@ -201,6 +204,27 @@ let events_dropped t =
       List.fold_left
         (fun acc (_, r) -> acc + Vw_obs.Recorder.dropped r)
         0 o.obs_recorders
+
+let events_binary t ~scenario =
+  match t.obs with
+  | None -> None
+  | Some o ->
+      let records =
+        List.fold_left
+          (fun acc (_, r) -> acc + Vw_obs.Recorder.length r)
+          0 o.obs_recorders
+      in
+      let buf =
+        Buffer.create (256 + (records * Vw_obs.Binlog.slot_bytes))
+      in
+      Vw_obs.Binlog.add_header buf ~scenario ~recorded:(events_recorded t)
+        ~dropped:(events_dropped t)
+        ~strings:(Vw_obs.Strtab.to_list o.obs_strings)
+        ~records;
+      List.iter
+        (fun (_, r) -> Vw_obs.Recorder.append_binary buf r)
+        o.obs_recorders;
+      Some (Buffer.contents buf)
 
 let events_truncated t =
   match t.obs with

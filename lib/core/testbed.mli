@@ -70,10 +70,12 @@ val run : t -> ?until:Vw_sim.Simtime.t -> unit -> unit
     one flight recorder per node (sharing a sequence counter, so the merged
     log is totally ordered) and one metrics registry for the run. *)
 
-val enable_observability : ?capacity:int -> t -> unit
+val enable_observability : ?mode:Vw_obs.Recorder.mode -> ?capacity:int -> t -> unit
 (** Wire a recorder into every node's engine and create the run's metrics
-    registry. [capacity] bounds each node's retained events (default
-    65536; oldest events are overwritten beyond it). Idempotent; survives
+    registry. [mode] (default [Binary]) selects the recorder sink — the
+    binary vw-events/2 ring, or the legacy [Typed] array kept for the
+    bench ablation. [capacity] bounds each node's retained events (default
+    16384; oldest events are overwritten beyond it). Idempotent; survives
     [Fie.reset], so successive scenarios on one testbed keep recording. *)
 
 val observability_enabled : t -> bool
@@ -84,6 +86,12 @@ val recorder : t -> string -> Vw_obs.Recorder.t option
 val events : t -> Vw_obs.Event.t list
 (** All nodes' retained events merged by sequence number (global recording
     order). Empty when observability is off. *)
+
+val events_binary : t -> scenario:string -> string option
+(** The run's retained events as one complete [vw-events/2] binary log
+    (header with the shared string table, then every node's ring blitted
+    back to back — readers sort by [seq]). [None] when observability is
+    off. Works in either recorder mode; Binary mode never re-encodes. *)
 
 val events_recorded : t -> int
 (** Total events ever emitted (retained + overwritten). *)

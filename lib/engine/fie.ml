@@ -274,8 +274,7 @@ let rec send_control t ~dst_nid msg =
       else begin
         t.stats.control_sent <- t.stats.control_sent + 1;
         if Rec.enabled t.obs then
-          ignore
-            (Rec.emit t.obs (Ev.Control_sent { dst_nid; ctl = ctl_of_msg msg }));
+          ignore (Rec.emit_control_sent t.obs ~dst_nid ~ctl:(ctl_of_msg msg));
         let dst = rt.tables.Tables.nodes.(dst_nid).Tables.nmac in
         let frame =
           Control.to_frame ~src:(Vw_stack.Host.mac t.hst) ~dst msg
@@ -288,13 +287,11 @@ and report t report_value =
   | None -> ()
   | Some rt ->
       if Rec.enabled t.obs then begin
-        let body =
-          match report_value with
-          | Stop_report { nid } -> Ev.Report_raised { nid; rule = None }
-          | Error_report { nid; rule } ->
-              Ev.Report_raised { nid; rule = Some rule }
-        in
-        ignore (Rec.emit t.obs body)
+        match report_value with
+        | Stop_report { nid } ->
+            ignore (Rec.emit_report_raised t.obs ~nid ~rule:None)
+        | Error_report { nid; rule } ->
+            ignore (Rec.emit_report_raised t.obs ~nid ~rule:(Some rule))
       end;
       let msg =
         match report_value with
@@ -309,14 +306,14 @@ and report t report_value =
 and execute_action t rt (entry : Tables.action_entry) ~did ~changed =
   t.stats.actions_executed <- t.stats.actions_executed + 1;
   if Rec.enabled t.obs then
-    ignore (Rec.emit t.obs (Ev.Action_fired { did; aid = entry.aid }));
+    ignore (Rec.emit_action_fired t.obs ~did ~aid:entry.aid);
   let set_value cid v =
     if rt.counter_values.(cid) <> v then begin
       let delta = v - rt.counter_values.(cid) in
       rt.counter_values.(cid) <- v;
       t.stats.counter_updates <- t.stats.counter_updates + 1;
       if Rec.enabled t.obs then
-        ignore (Rec.emit t.obs (Ev.Counter_changed { cid; value = v; delta }));
+        ignore (Rec.emit_counter_changed t.obs ~cid ~value:v ~delta);
       ignore (Vw_util.Worklist.add changed cid)
     end
   in
@@ -424,7 +421,7 @@ and cascade t rt ~changed_counters ~changed_terms =
           if status <> rt.term_status.(tid) then begin
             rt.term_status.(tid) <- status;
             if Rec.enabled t.obs then
-              ignore (Rec.emit t.obs (Ev.Term_flipped { tid; status }));
+              ignore (Rec.emit_term_flipped t.obs ~tid ~status);
             List.iter
               (fun nid ->
                 send_control t ~dst_nid:nid
@@ -445,7 +442,7 @@ and cascade t rt ~changed_counters ~changed_terms =
           let status = eval_expr rt cond.Tables.expr in
           if status && not rt.cond_status.(did) then begin
             if Rec.enabled t.obs then
-              ignore (Rec.emit t.obs (Ev.Condition_rose { did }));
+              ignore (Rec.emit_condition_rose t.obs ~did);
             risen := did :: !risen
           end;
           rt.cond_status.(did) <- status)
@@ -497,8 +494,7 @@ and process_control t msg =
           let delta = value - rt.counter_values.(cid) in
           rt.counter_values.(cid) <- value;
           if Rec.enabled t.obs then
-            ignore
-              (Rec.emit t.obs (Ev.Counter_changed { cid; value; delta }));
+            ignore (Rec.emit_counter_changed t.obs ~cid ~value ~delta);
           cascade t rt ~changed_counters:[ cid ] ~changed_terms:[]
         end
       end
@@ -507,7 +503,7 @@ and process_control t msg =
         if rt.term_status.(tid) <> status then begin
           rt.term_status.(tid) <- status;
           if Rec.enabled t.obs then
-            ignore (Rec.emit t.obs (Ev.Term_flipped { tid; status }));
+            ignore (Rec.emit_term_flipped t.obs ~tid ~status);
           cascade t rt ~changed_counters:[] ~changed_terms:[ tid ]
         end
       end
@@ -737,8 +733,7 @@ let apply_fault t rt point (frame : Vw_net.Eth.t) (af : armed_fault) =
       | `Modify _ -> Ev.Modify
     in
     ignore
-      (Rec.emit t.obs
-         (Ev.Fault_applied { did = af.af_did; aid = af.af_aid; fault }))
+      (Rec.emit_fault_applied t.obs ~did:af.af_did ~aid:af.af_aid ~fault)
   end;
   match af.af_kind with
   | `Drop ->
@@ -870,9 +865,7 @@ let handle_packet t point (frame : Vw_net.Eth.t) =
               | Vw_stack.Hook.Ingress -> Ev.Ingress
               | Vw_stack.Hook.Egress -> Ev.Egress
             in
-            ignore
-              (Rec.emit_root t.obs
-                 (Ev.Packet_classified { point = obs_point; fid }))
+            ignore (Rec.emit_packet_classified t.obs ~point:obs_point ~fid)
           end;
           let p = pindex point in
           (* 1. counter updates: only the observers precomputed for this
@@ -890,13 +883,8 @@ let handle_packet t point (frame : Vw_net.Eth.t) =
                 t.stats.counter_updates <- t.stats.counter_updates + 1;
                 if recording then
                   ignore
-                    (Rec.emit t.obs
-                       (Ev.Counter_changed
-                          {
-                            cid = ob.ob_cid;
-                            value = rt.counter_values.(ob.ob_cid);
-                            delta = 1;
-                          }));
+                    (Rec.emit_counter_changed t.obs ~cid:ob.ob_cid
+                       ~value:rt.counter_values.(ob.ob_cid) ~delta:1);
                 changed := ob.ob_cid :: !changed
               end)
             rt.observing_counters.(p).(fid);
@@ -938,8 +926,7 @@ let ingress_handler t (frame : Vw_net.Eth.t) =
              context; stitching to the remote sender's chain happens
              offline by payload equality *)
           let prev_cause = Rec.cause t.obs in
-          ignore
-            (Rec.emit_root t.obs (Ev.Control_received { ctl = ctl_of_msg msg }));
+          ignore (Rec.emit_control_received t.obs ~ctl:(ctl_of_msg msg));
           process_control t msg;
           Rec.set_cause t.obs prev_cause
         end

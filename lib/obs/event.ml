@@ -77,6 +77,111 @@ let ctl_name = function
    Control_sent that produced it. *)
 let ctl_equal (a : ctl) (b : ctl) = a = b
 
+(* --- Fixed-layout field codec (schema "vw-events/2") ---
+
+   Every body flattens to five integers: a kind code, a small enum byte
+   [aux] (hook point / term status / fault kind / ctl tag / rule-present),
+   a 32-bit id [a] and two full-width payloads [b]/[c] (counter values and
+   deltas are arbitrary ints). The mapping is total and injective so that
+   decode (of_fields) after encode (to_fields) is the identity — the
+   qcheck property in test_report keeps that honest. *)
+
+let kind_code = function
+  | Packet_classified _ -> 0
+  | Counter_changed _ -> 1
+  | Term_flipped _ -> 2
+  | Condition_rose _ -> 3
+  | Action_fired _ -> 4
+  | Fault_applied _ -> 5
+  | Control_sent _ -> 6
+  | Control_received _ -> 7
+  | Report_raised _ -> 8
+
+let fault_code = function
+  | Drop -> 0
+  | Delay -> 1
+  | Reorder -> 2
+  | Dup -> 3
+  | Modify -> 4
+
+let ctl_to_fields = function
+  | C_init -> (0, 0, 0)
+  | C_start -> (1, 0, 0)
+  | C_counter_update { cid; value } -> (2, cid, value)
+  | C_term_status { tid; status } -> (3, tid, if status then 1 else 0)
+  | C_var_bind { vid } -> (4, vid, 0)
+  | C_report_stop { nid } -> (5, nid, 0)
+  | C_report_error { nid; rule } -> (6, nid, rule)
+
+let ctl_of_fields ~tag ~b ~c =
+  match tag with
+  | 0 -> Ok C_init
+  | 1 -> Ok C_start
+  | 2 -> Ok (C_counter_update { cid = b; value = c })
+  | 3 when c = 0 || c = 1 -> Ok (C_term_status { tid = b; status = c = 1 })
+  | 3 -> Error (Printf.sprintf "term_status with non-boolean status %d" c)
+  | 4 -> Ok (C_var_bind { vid = b })
+  | 5 -> Ok (C_report_stop { nid = b })
+  | 6 -> Ok (C_report_error { nid = b; rule = c })
+  | n -> Error (Printf.sprintf "unknown ctl tag %d" n)
+
+let to_fields = function
+  | Packet_classified { point; fid } ->
+      (0, (match point with Ingress -> 0 | Egress -> 1), fid, 0, 0)
+  | Counter_changed { cid; value; delta } -> (1, 0, cid, delta, value)
+  | Term_flipped { tid; status } -> (2, (if status then 1 else 0), tid, 0, 0)
+  | Condition_rose { did } -> (3, 0, did, 0, 0)
+  | Action_fired { did; aid } -> (4, 0, did, aid, 0)
+  | Fault_applied { did; aid; fault } -> (5, fault_code fault, did, aid, 0)
+  | Control_sent { dst_nid; ctl } ->
+      let tag, b, c = ctl_to_fields ctl in
+      (6, tag, dst_nid, b, c)
+  | Control_received { ctl } ->
+      let tag, b, c = ctl_to_fields ctl in
+      (7, tag, 0, b, c)
+  | Report_raised { nid; rule = None } -> (8, 0, nid, 0, 0)
+  | Report_raised { nid; rule = Some r } -> (8, 1, nid, r, 0)
+
+let of_fields ~kind ~aux ~a ~b ~c =
+  let bad what v = Error (Printf.sprintf "%s %d out of range" what v) in
+  match kind with
+  | 0 -> (
+      match aux with
+      | 0 -> Ok (Packet_classified { point = Ingress; fid = a })
+      | 1 -> Ok (Packet_classified { point = Egress; fid = a })
+      | _ -> bad "hook point" aux)
+  | 1 -> Ok (Counter_changed { cid = a; value = c; delta = b })
+  | 2 ->
+      if aux = 0 || aux = 1 then Ok (Term_flipped { tid = a; status = aux = 1 })
+      else bad "term status" aux
+  | 3 -> Ok (Condition_rose { did = a })
+  | 4 -> Ok (Action_fired { did = a; aid = b })
+  | 5 -> (
+      let fault =
+        match aux with
+        | 0 -> Some Drop
+        | 1 -> Some Delay
+        | 2 -> Some Reorder
+        | 3 -> Some Dup
+        | 4 -> Some Modify
+        | _ -> None
+      in
+      match fault with
+      | Some fault -> Ok (Fault_applied { did = a; aid = b; fault })
+      | None -> bad "fault kind" aux)
+  | 6 ->
+      Result.map
+        (fun ctl -> Control_sent { dst_nid = a; ctl })
+        (ctl_of_fields ~tag:aux ~b ~c)
+  | 7 ->
+      Result.map (fun ctl -> Control_received { ctl }) (ctl_of_fields ~tag:aux ~b ~c)
+  | 8 -> (
+      match aux with
+      | 0 -> Ok (Report_raised { nid = a; rule = None })
+      | 1 -> Ok (Report_raised { nid = a; rule = Some b })
+      | _ -> bad "rule-present flag" aux)
+  | n -> bad "event kind" n
+
 (* --- JSONL serialization (schema "vw-events/1") ---
 
    One JSON object per line; field set depends on "kind". Strings that

@@ -61,6 +61,28 @@ val ctl_equal : ctl -> ctl -> bool
 (** Payload equality — pairs a [Control_received] with the [Control_sent]
     that produced it. *)
 
+val kind_code : body -> int
+(** The [vw-events/2] kind byte, 0..8 in [all_kind_names] order. *)
+
+val ctl_to_fields : ctl -> int * int * int
+(** Flatten a control payload to [(tag, b, c)] for the binary slot
+    fields: tag 0 init, 1 start, 2 counter_update (cid, value),
+    3 term_status (tid, 0/1), 4 var_bind (vid), 5 report_stop (nid),
+    6 report_error (nid, rule). *)
+
+val ctl_of_fields : tag:int -> b:int -> c:int -> (ctl, string) result
+(** Inverse of {!ctl_to_fields}. *)
+
+val to_fields : body -> int * int * int * int * int
+(** Flatten a body to the [vw-events/2] fixed fields
+    [(kind, aux, a, b, c)]: [kind] is {!kind_code}, [aux] a small enum
+    byte (hook point, term status, fault kind, ctl tag, or rule-present
+    flag), [a] a 32-bit id, [b]/[c] full-width payload ints. *)
+
+val of_fields :
+  kind:int -> aux:int -> a:int -> b:int -> c:int -> (body, string) result
+(** Inverse of {!to_fields}; [Error] names the out-of-range field. *)
+
 val to_json : t -> string
 (** One JSON object, no trailing newline (schema [vw-events/1]). *)
 

@@ -118,7 +118,7 @@ let parse_header j =
     in
     Ok { scenario; recorded; dropped }
 
-let of_string src =
+let of_jsonl src =
   let lines = String.split_on_char '\n' src in
   let rec go lineno header acc = function
     | [] ->
@@ -142,6 +142,18 @@ let of_string src =
                 | Ok e -> go (lineno + 1) header (e :: acc) rest))
   in
   go 1 None [] lines
+
+(* Format sniffing: a vw-events/2 file starts with the VWEV2 magic, which
+   no JSONL stream can (its first byte would have to open a JSON value).
+   Note a JSONL header *claiming* "vw-events/2" stays an error — binary
+   logs are never JSONL. *)
+let of_string src =
+  if Vw_obs.Binlog.is_binary src then
+    match Vw_obs.Binlog.of_string src with
+    | Ok ({ scenario; recorded; dropped }, events) ->
+        Ok (Some { scenario; recorded; dropped }, events)
+    | Error _ as e -> e
+  else of_jsonl src
 
 let load path =
   match

@@ -55,6 +55,10 @@ flatten() {
          { key: "obs_ablation.recording_ns_per_packet",
            value: .obs_ablation.recording_ns_per_packet }
        else empty end),
+      (if (.obs_ablation.recording_jsonl_ns_per_packet? // empty) != "" then
+         { key: "obs_ablation.recording_jsonl_ns_per_packet",
+           value: .obs_ablation.recording_jsonl_ns_per_packet }
+       else empty end),
       (.campaign // {} | to_entries[]
        | select(.value | type == "object" and has("wall_s"))
        | { key: ("campaign." + .key + ".wall_s"),
@@ -117,6 +121,25 @@ done < "$old_flat"
 if [ "$compared" -eq 0 ]; then
   echo "bench_compare: no shared metrics between $OLD and $NEW" >&2
   exit 2
+fi
+
+# Absolute overhead budget for the always-on flight recorder: the binary
+# sink must stay cheap in absolute terms, not merely no-worse-than the
+# committed baseline. The default (1000 ns/packet) is 2x the bench-host
+# target to absorb slower CI machines; override with
+# OBS_RECORDING_BUDGET_NS to tighten or loosen.
+BUDGET="${OBS_RECORDING_BUDGET_NS:-1000}"
+rec=$(jq -r '.obs_ablation.recording_ns_per_packet // empty' "$NEW")
+if [ -n "$rec" ]; then
+  if [ "$(awk -v r="$rec" -v b="$BUDGET" 'BEGIN { print (r > b) ? 1 : 0 }')" = 1 ]; then
+    printf 'BUDGET     %-45s %12s ns  (budget %s ns)
+'       "obs_ablation.recording_ns_per_packet" "$rec" "$BUDGET"
+    echo "bench_compare: recording overhead exceeds OBS_RECORDING_BUDGET_NS=${BUDGET}" >&2
+    status=1
+  else
+    printf 'budget ok  %-45s %12s ns  (budget %s ns)
+'       "obs_ablation.recording_ns_per_packet" "$rec" "$BUDGET"
+  fi
 fi
 if [ "$status" -ne 0 ]; then
   echo "bench_compare: regression(s) above ${THRESHOLD}% threshold" >&2

@@ -46,6 +46,43 @@ let check_golden ~golden ~args () =
        ---@.%s"
       args golden actual expected
 
+(* Not a snapshot: the binary capture exported back to JSONL must be
+   byte-identical to a direct JSONL capture of the same run, and both
+   event files must drive vwctl cover to byte-identical output. *)
+let check_export_parity () =
+  let tmp suffix = Filename.temp_file "vwctl_events" suffix in
+  let j = tmp ".jsonl" and b = tmp ".bin" and x = tmp ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ j; b; x ])
+    (fun () ->
+      let run args =
+        let rc, _ = run_cmd args in
+        if rc <> 0 then Alcotest.failf "vwctl %s: exit code %d" args rc
+      in
+      let base = "run quickstart -w udp-ping -b 6400 -d 2 --events" in
+      run (Printf.sprintf "%s %s" base (Filename.quote j));
+      run
+        (Printf.sprintf "%s %s --events-format bin" base (Filename.quote b));
+      run
+        (Printf.sprintf "events export %s -o %s" (Filename.quote b)
+           (Filename.quote x));
+      if read_file j <> read_file x then
+        Alcotest.fail "exported JSONL differs from direct --events capture";
+      let cover events =
+        let args =
+          Printf.sprintf "cover quickstart -w udp-ping --events %s"
+            (Filename.quote events)
+        in
+        let rc, out = run_cmd args in
+        if rc <> 0 then Alcotest.failf "vwctl %s: exit code %d" args rc;
+        out
+      in
+      if cover j <> cover b then
+        Alcotest.fail "cover differs between JSONL and binary event input")
+
 let suite =
   [
     ( "golden",
@@ -59,5 +96,7 @@ let suite =
         Alcotest.test_case "vwctl run quickstart --stats-json" `Quick
           (check_golden ~golden:"run_quickstart_stats.json"
              ~args:"run quickstart -w udp-ping -b 6400 -d 2 --stats-json");
+        Alcotest.test_case "binary capture exports identical JSONL" `Quick
+          check_export_parity;
       ] );
   ]

@@ -73,6 +73,298 @@ let test_recorders_share_seq () =
   check (Alcotest.list Alcotest.int) "interleaved, globally unique" [ 0; 1; 2 ]
     [ s0; s1; s2 ]
 
+(* --- vw-events/2 binary codec and sink --- *)
+
+module Binlog = Vw_obs.Binlog
+module Strtab = Vw_obs.Strtab
+
+let ev_t : Ev.t Alcotest.testable =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Ev.to_json e))
+    ( = )
+
+(* a body of every kind, with both control payload shapes *)
+let sample_bodies =
+  [
+    Ev.Packet_classified { point = Ev.Ingress; fid = 3 };
+    Ev.Counter_changed { cid = 1; value = -7; delta = -9 };
+    Ev.Term_flipped { tid = 2; status = true };
+    Ev.Condition_rose { did = 4 };
+    Ev.Action_fired { did = 4; aid = 5 };
+    Ev.Fault_applied { did = 4; aid = 5; fault = Ev.Reorder };
+    Ev.Control_sent
+      { dst_nid = 1; ctl = Ev.C_counter_update { cid = 1; value = 12 } };
+    Ev.Control_received { ctl = Ev.C_term_status { tid = 2; status = false } };
+    Ev.Report_raised { nid = 0; rule = Some 2 };
+    Ev.Report_raised { nid = 1; rule = None };
+  ]
+
+(* The binary ring must wrap exactly like the legacy typed array: same
+   retained tail, same [dropped] count, same [truncated] flag — that is
+   what keeps the stderr warning and the obs.events_truncated metric
+   honest now that Binary is the default sink. *)
+let test_binary_wrap_parity () =
+  let run mode =
+    let seq = ref 0 in
+    let now = ref Simtime.zero in
+    let r =
+      Rec.create ~mode ~capacity:4 ~node:"n" ~clock:(fun () -> !now) ~seq ()
+    in
+    List.iteri
+      (fun i body ->
+        now := Simtime.ms i;
+        if i mod 3 = 0 then ignore (Rec.emit_root r body)
+        else ignore (Rec.emit r body))
+      sample_bodies;
+    (Rec.events r, Rec.dropped r, Rec.truncated r)
+  in
+  let evs_b, dropped_b, trunc_b = run Rec.Binary in
+  let evs_t, dropped_t, trunc_t = run Rec.Typed in
+  check Alcotest.int "both retain capacity" 4 (List.length evs_b);
+  check Alcotest.int "same dropped count" dropped_t dropped_b;
+  check Alcotest.int "dropped = overflow" 6 dropped_b;
+  check Alcotest.bool "both truncated" true (trunc_b && trunc_t);
+  check (Alcotest.list ev_t) "identical retained tail" evs_t evs_b
+
+(* Each specialized no-allocation emitter must record exactly what the
+   generic [emit] would for the equivalent body, in both modes. *)
+let test_emitter_parity () =
+  let cases =
+    [
+      ( true,
+        Ev.Packet_classified { point = Ev.Egress; fid = 7 },
+        fun r -> Rec.emit_packet_classified r ~point:Ev.Egress ~fid:7 );
+      ( false,
+        Ev.Counter_changed { cid = 3; value = -2; delta = -5 },
+        fun r -> Rec.emit_counter_changed r ~cid:3 ~value:(-2) ~delta:(-5) );
+      ( false,
+        Ev.Term_flipped { tid = 1; status = false },
+        fun r -> Rec.emit_term_flipped r ~tid:1 ~status:false );
+      ( false,
+        Ev.Condition_rose { did = 2 },
+        fun r -> Rec.emit_condition_rose r ~did:2 );
+      ( false,
+        Ev.Action_fired { did = 2; aid = 9 },
+        fun r -> Rec.emit_action_fired r ~did:2 ~aid:9 );
+      ( false,
+        Ev.Fault_applied { did = 2; aid = 9; fault = Ev.Modify },
+        fun r -> Rec.emit_fault_applied r ~did:2 ~aid:9 ~fault:Ev.Modify );
+      ( false,
+        Ev.Control_sent { dst_nid = 1; ctl = Ev.C_report_error { nid = 1; rule = 0 } },
+        fun r ->
+          Rec.emit_control_sent r ~dst_nid:1
+            ~ctl:(Ev.C_report_error { nid = 1; rule = 0 }) );
+      ( true,
+        Ev.Control_received { ctl = Ev.C_var_bind { vid = 4 } },
+        fun r -> Rec.emit_control_received r ~ctl:(Ev.C_var_bind { vid = 4 }) );
+      ( false,
+        Ev.Report_raised { nid = 0; rule = Some 1 },
+        fun r -> Rec.emit_report_raised r ~nid:0 ~rule:(Some 1) );
+      ( false,
+        Ev.Report_raised { nid = 1; rule = None },
+        fun r -> Rec.emit_report_raised r ~nid:1 ~rule:None );
+    ]
+  in
+  (* the packet_classified emitter is a root; give every recorder a live
+     causal context first so root/non-root behaviour is observable *)
+  List.iter
+    (fun mode ->
+      let record emitters =
+        let seq = ref 0 in
+        let r =
+          Rec.create ~mode ~node:"n" ~clock:(fun () -> Simtime.ms 3) ~seq ()
+        in
+        ignore (Rec.emit_packet_classified r ~point:Ev.Ingress ~fid:0);
+        List.iter (fun f -> ignore (f r)) emitters;
+        Rec.events r
+      in
+      let specialized = record (List.map (fun (_, _, f) -> f) cases) in
+      let generic =
+        record
+          (List.map
+             (fun (root, body, _) r ->
+               if root then Rec.emit_root r body else Rec.emit r body)
+             cases)
+      in
+      check
+        (Alcotest.list ev_t)
+        (match mode with
+        | Rec.Binary -> "binary: specialized = generic"
+        | Rec.Typed -> "typed: specialized = generic")
+        generic specialized)
+    [ Rec.Binary; Rec.Typed ]
+
+(* the point of the binary sink: zero words allocated per event once the
+   ring has reached steady state *)
+let test_binary_emit_no_alloc () =
+  let seq = ref 0 in
+  let r =
+    Rec.create ~capacity:64 ~node:"n" ~clock:(fun () -> Simtime.zero) ~seq ()
+  in
+  (* warm up past all ring growth *)
+  for _ = 1 to 256 do
+    ignore (Rec.emit_packet_classified r ~point:Ev.Ingress ~fid:1)
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 1000 do
+    ignore (Rec.emit_packet_classified r ~point:Ev.Ingress ~fid:1);
+    ignore (Rec.emit_counter_changed r ~cid:0 ~value:i ~delta:1);
+    ignore (Rec.emit_fault_applied r ~did:0 ~aid:1 ~fault:Ev.Drop)
+  done;
+  let words = Gc.minor_words () -. w0 in
+  if words > 64.0 then
+    Alcotest.failf "binary emit allocated %.0f minor words over 3000 events"
+      words
+
+(* interned names up to the u16 length limit survive; one byte more is
+   rejected at intern time, not at export time *)
+let test_strtab_limits () =
+  let long = String.make 65535 'x' in
+  let e =
+    {
+      Ev.seq = 0;
+      time = Simtime.zero;
+      node = long;
+      nid = 0;
+      cause = 0;
+      body = Ev.Condition_rose { did = 0 };
+    }
+  in
+  let blob = Binlog.of_events ~scenario:"s" ~recorded:1 ~dropped:0 [ e ] in
+  (match Binlog.of_string blob with
+  | Ok (_, [ d ]) -> check Alcotest.string "max-length name" long d.Ev.node
+  | Ok _ -> Alcotest.fail "wrong event count"
+  | Error err -> Alcotest.failf "decode: %s" err);
+  let tab = Strtab.create () in
+  Alcotest.check_raises "oversized name rejected"
+    (Invalid_argument "Strtab.intern: string longer than 65535 bytes")
+    (fun () -> ignore (Strtab.intern tab (String.make 65536 'y')))
+
+(* corrupt inputs fail loudly, naming the problem *)
+let test_binlog_bad_input () =
+  let good =
+    Binlog.of_events ~scenario:"s" ~recorded:1 ~dropped:0
+      [
+        {
+          Ev.seq = 0;
+          time = Simtime.zero;
+          node = "n";
+          nid = 0;
+          cause = 0;
+          body = Ev.Condition_rose { did = 0 };
+        };
+      ]
+  in
+  (match Binlog.of_string (String.sub good 0 (String.length good - 1)) with
+  | Ok _ -> Alcotest.fail "accepted truncated file"
+  | Error _ -> ());
+  (match Binlog.of_string "VWEV9\x00rest" with
+  | Ok _ -> Alcotest.fail "accepted bad magic"
+  | Error _ -> ());
+  (* a kind byte outside 0..8 names the record *)
+  let b = Bytes.of_string good in
+  let slot_off = String.length good - Binlog.slot_bytes in
+  Bytes.set b (slot_off + Binlog.o_kind) '\xff';
+  match Binlog.of_string (Bytes.to_string b) with
+  | Ok _ -> Alcotest.fail "accepted bad kind byte"
+  | Error e ->
+      check Alcotest.bool "error names the record" true
+        (String.length e > 0)
+
+(* --- property: decode . encode = id over the full field ranges --- *)
+
+let gen_event =
+  let open QCheck.Gen in
+  let id = int_range 0 1000 in
+  let payload =
+    frequency
+      [
+        (4, int);
+        (1, oneofl [ min_int; max_int; 0; 1; -1; 1 lsl 62; -(1 lsl 62) ]);
+      ]
+  in
+  let gen_ctl =
+    oneof
+      [
+        return Ev.C_init;
+        return Ev.C_start;
+        map2 (fun cid value -> Ev.C_counter_update { cid; value }) id payload;
+        map2 (fun tid status -> Ev.C_term_status { tid; status }) id bool;
+        map (fun vid -> Ev.C_var_bind { vid }) id;
+        map (fun nid -> Ev.C_report_stop { nid }) id;
+        map2 (fun nid rule -> Ev.C_report_error { nid; rule }) id id;
+      ]
+  in
+  let gen_body =
+    oneof
+      [
+        map2
+          (fun point fid -> Ev.Packet_classified { point; fid })
+          (oneofl [ Ev.Ingress; Ev.Egress ])
+          id;
+        map3
+          (fun cid value delta -> Ev.Counter_changed { cid; value; delta })
+          id payload payload;
+        map2 (fun tid status -> Ev.Term_flipped { tid; status }) id bool;
+        map (fun did -> Ev.Condition_rose { did }) id;
+        map2 (fun did aid -> Ev.Action_fired { did; aid }) id id;
+        map3
+          (fun did aid fault -> Ev.Fault_applied { did; aid; fault })
+          id id
+          (oneofl [ Ev.Drop; Ev.Delay; Ev.Reorder; Ev.Dup; Ev.Modify ]);
+        map2 (fun dst_nid ctl -> Ev.Control_sent { dst_nid; ctl }) id gen_ctl;
+        map (fun ctl -> Ev.Control_received { ctl }) gen_ctl;
+        map2
+          (fun nid rule -> Ev.Report_raised { nid; rule })
+          id
+          (oneof [ return None; map (fun r -> Some r) id ]);
+      ]
+  in
+  let u48 =
+    map2 (fun hi lo -> (hi lsl 24) lor lo) (int_bound 0xffffff)
+      (int_bound 0xffffff)
+  in
+  map
+    (fun (seq, (time, (cause, (nid, body)))) ->
+      { Ev.seq; time; node = "node-0"; nid; cause; body })
+    (pair u48 (pair payload (pair u48 (pair (int_range (-32768) 32767) gen_body))))
+
+let slot_roundtrip_prop =
+  QCheck.Test.make ~name:"vw-events/2 slot decode . encode = id" ~count:500
+    (QCheck.make gen_event ~print:Ev.to_json)
+    (fun e ->
+      let buf = Buffer.create Binlog.slot_bytes in
+      Binlog.add_slot_of_event buf ~sid:0 e;
+      let bytes = Buffer.to_bytes buf in
+      Bytes.length bytes = Binlog.slot_bytes
+      && Binlog.slot_sid bytes ~off:0 = 0
+      &&
+      match Binlog.decode_slot bytes ~off:0 ~node:e.Ev.node with
+      | Ok d -> d = e
+      | Error _ -> false)
+
+(* the hot-path encoder open-coded in the recorder must write the same
+   bytes as Binlog.encode_slot (via add_slot_of_event) *)
+let recorder_matches_codec_prop =
+  QCheck.Test.make ~name:"recorder hot path writes Binlog.encode_slot bytes"
+    ~count:200
+    (QCheck.make gen_event ~print:Ev.to_json)
+    (fun e ->
+      let seq = ref e.Ev.seq in
+      let r =
+        Rec.create ~node:e.Ev.node ~clock:(fun () -> e.Ev.time) ~seq ()
+      in
+      Rec.set_nid r e.Ev.nid;
+      (* force the generated cause: pretend an earlier root set it *)
+      Rec.set_cause r e.Ev.cause;
+      ignore (Rec.emit r e.Ev.body);
+      let via_recorder = Buffer.create Binlog.slot_bytes in
+      Rec.append_binary via_recorder r;
+      let via_codec = Buffer.create Binlog.slot_bytes in
+      Binlog.add_slot_of_event via_codec ~sid:(Rec.sid r)
+        { e with Ev.cause = (if e.Ev.cause >= 0 then e.Ev.cause else e.Ev.seq) };
+      Buffer.contents via_recorder = Buffer.contents via_codec)
+
 (* --- metrics unit tests --- *)
 
 let test_metrics_counters () =
@@ -162,6 +454,31 @@ let run_observed ?(script = Vw_scripts.udp_drop_dup) ?(pings = 10) ?(seed = 42)
   with
   | Ok r -> (testbed, tables, r)
   | Error e -> Alcotest.fail e
+
+(* full-file round-trip: events -> vw-events/2 bytes -> events, with the
+   JSONL rendering (the vw-events/1 contract) as the equality witness *)
+let test_binary_file_roundtrip () =
+  let testbed, _tables, _result = run_observed () in
+  let events = Testbed.events testbed in
+  check Alcotest.bool "run produced events" true (List.length events > 20);
+  let blob =
+    Binlog.of_events ~scenario:"udp_drop_dup"
+      ~recorded:(List.length events)
+      ~dropped:0 events
+  in
+  check Alcotest.bool "sniffs as binary" true (Binlog.is_binary blob);
+  match Binlog.of_string blob with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok (meta, decoded) ->
+      check Alcotest.string "scenario" "udp_drop_dup" meta.Binlog.scenario;
+      check Alcotest.int "recorded" (List.length events) meta.Binlog.recorded;
+      check Alcotest.int "dropped" 0 meta.Binlog.dropped;
+      check (Alcotest.list ev_t) "typed events survive" events decoded;
+      List.iter2
+        (fun a b ->
+          check Alcotest.string "to_json identical" (Ev.to_json a)
+            (Ev.to_json b))
+        events decoded
 
 let test_events_end_to_end () =
   let testbed, _tables, result = run_observed () in
@@ -462,6 +779,23 @@ let suite =
         Alcotest.test_case "ring wrap" `Quick test_recorder_wrap;
         Alcotest.test_case "shared sequence counter" `Quick
           test_recorders_share_seq;
+      ] );
+    ( "obs.binlog",
+      [
+        Alcotest.test_case "binary ring wraps like typed" `Quick
+          test_binary_wrap_parity;
+        Alcotest.test_case "specialized emitters match generic" `Quick
+          test_emitter_parity;
+        Alcotest.test_case "binary emit allocates nothing" `Quick
+          test_binary_emit_no_alloc;
+        Alcotest.test_case "file round-trip + to_json equality" `Quick
+          test_binary_file_roundtrip;
+        Alcotest.test_case "string-table length limits" `Quick
+          test_strtab_limits;
+        Alcotest.test_case "corrupt input rejected" `Quick
+          test_binlog_bad_input;
+        qtest slot_roundtrip_prop;
+        qtest recorder_matches_codec_prop;
       ] );
     ( "obs.metrics",
       [

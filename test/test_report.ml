@@ -126,6 +126,33 @@ let test_events_bad_input () =
   | Error e -> check Alcotest.bool "carries line number" true (contains e "line 1")
   | Ok _ -> Alcotest.fail "accepted unknown kind"
 
+(* the same loader must sniff a vw-events/2 binary file and surface the
+   identical header and typed events *)
+let test_events_binary_autodetect () =
+  let testbed, _tables, _result = run_observed () in
+  let events = Testbed.events testbed in
+  let blob =
+    Vw_obs.Binlog.of_events ~scenario:"udp_drop_dup"
+      ~recorded:(List.length events) ~dropped:0 events
+  in
+  match Eio.of_string blob with
+  | Error e -> Alcotest.failf "binary reload: %s" e
+  | Ok (header, reloaded) ->
+      (match header with
+      | Some h ->
+          check Alcotest.string "header scenario" "udp_drop_dup" h.Eio.scenario;
+          check Alcotest.int "header recorded" (List.length events)
+            h.Eio.recorded;
+          check Alcotest.int "header dropped" 0 h.Eio.dropped
+      | None -> Alcotest.fail "binary header not surfaced");
+      check Alcotest.int "every event survives" (List.length events)
+        (List.length reloaded);
+      List.iter2
+        (fun (a : Ev.t) (b : Ev.t) ->
+          if a <> b then
+            Alcotest.failf "event %d did not survive the binary loader" a.Ev.seq)
+        events reloaded
+
 (* --- Coverage --- *)
 
 let test_coverage_live_vs_offline () =
@@ -402,6 +429,8 @@ let suite =
       [
         Alcotest.test_case "to_json round-trips" `Quick test_events_roundtrip;
         Alcotest.test_case "bad input is an error" `Quick test_events_bad_input;
+        Alcotest.test_case "vw-events/2 autodetected" `Quick
+          test_events_binary_autodetect;
       ] );
     ( "report.coverage",
       [
