@@ -288,6 +288,7 @@ type campaign_opts = {
   chunk : int option;
   seed : int option;
   stats_json : bool;
+  journal : string option;
 }
 
 let campaign_opts_term =
@@ -333,7 +334,19 @@ let campaign_opts_term =
              report moves to stderr. Campaigns emit schema vw-campaign/1; \
              a single $(b,run) emits its metrics registry (vw-metrics/1).")
   in
-  let v jobs chunk seed stats_json =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append a structured record of every failure to $(docv) \
+             (vw-failures/1 JSON Lines — the failure journal that $(b,vwctl \
+             triage) clusters). Records carry no wall-clock fields and are \
+             appended after plan-order reduction, so the journal is \
+             byte-identical at every $(b,--jobs) level.")
+  in
+  let v jobs chunk seed stats_json journal =
     let recommended = Vw_exec.Executor.default_jobs () in
     let jobs =
       match jobs with
@@ -357,9 +370,10 @@ let campaign_opts_term =
           Some 1
       | c -> c
     in
-    { jobs; chunk; seed; stats_json }
+    { jobs; chunk; seed; stats_json; journal }
   in
-  Term.(const v $ jobs_arg $ chunk_arg $ seed_arg $ stats_json_arg)
+  Term.(
+    const v $ jobs_arg $ chunk_arg $ seed_arg $ stats_json_arg $ journal_arg)
 
 let first_line s =
   match String.index_opt s '\n' with
@@ -447,26 +461,61 @@ let run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes ~duration
   let human =
     if opts.stats_json then Format.err_formatter else Format.std_formatter
   in
-  let entries =
+  let rows =
     List.map
       (fun (o : _ Vw_exec.Outcome.t) ->
         let i = o.Vw_exec.Outcome.index in
+        let crash =
+          match o.Vw_exec.Outcome.verdict with
+          | Vw_exec.Outcome.Crash msg -> Some msg
+          | _ -> None
+        in
         let seed, detail =
           match o.Vw_exec.Outcome.payload with
           | Some p -> p
           | None ->
               ( (base_seed + i) land max_int,
-                match o.Vw_exec.Outcome.verdict with
-                | Vw_exec.Outcome.Crash msg -> "worker crashed: " ^ msg ^ "\n"
-                | _ -> "\n" )
+                match crash with
+                | Some msg -> "worker crashed: " ^ msg ^ "\n"
+                | None -> "\n" )
         in
+        (i, seed, detail, Vw_exec.Outcome.passed o, crash))
+      outcomes
+  in
+  let entries =
+    List.map
+      (fun (i, seed, detail, ok, _) ->
         Format.fprintf human "trial %d (seed %d): %s" i seed detail;
         Vw_report.Campaign.entry
           ~name:(Printf.sprintf "trial-%d" i)
-          ~ok:(Vw_exec.Outcome.passed o)
-          ~detail:(first_line detail) ())
-      outcomes
+          ~ok ~detail:(first_line detail) ())
+      rows
   in
+  (match opts.journal with
+  | None -> ()
+  | Some path -> (
+      let digest = Vw_report.Journal.digest_of_tables tables in
+      let records =
+        List.filter_map
+          (fun (i, seed, detail, ok, crash) ->
+            if ok then None
+            else
+              let oracle, det =
+                match crash with
+                | Some msg ->
+                    ("worker_crash", Vw_report.Journal.exn_constructor msg)
+                | None -> ("scenario", first_line detail)
+              in
+              Some
+                (Vw_report.Journal.v ~run_seed:base_seed ~tables_digest:digest
+                   ~command:"run"
+                   ~case:(Printf.sprintf "trial-%d" i)
+                   ~index:i ~oracle ~seed ~detail:det ()))
+          rows
+      in
+      match Vw_report.Journal.append path records with
+      | Ok () -> ()
+      | Error e -> Printf.eprintf "warning: journal %s: %s\n%!" path e));
   let campaign = Vw_report.Campaign.v ~command:"run" entries in
   Format.fprintf human "repeat: %d/%d passed@."
     (Vw_report.Campaign.passed campaign)
@@ -1063,7 +1112,7 @@ let suite_campaign ~with_cover (report : Vw_core.Suite.report) =
   in
   Vw_report.Campaign.v ~command:"suite" entries
 
-let write_campaign_dir dir campaign ~summary =
+let write_campaign_dir ?(failures = []) dir campaign ~summary =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let write name contents =
     let oc = open_out (Filename.concat dir name) in
@@ -1075,6 +1124,9 @@ let write_campaign_dir dir campaign ~summary =
   (match Vw_report.Campaign.coverage campaign with
   | Some cover -> write "campaign-cover.json" (Vw_report.Coverage.to_json cover)
   | None -> ());
+  if failures <> [] then
+    write "failures.jsonl"
+      (String.concat "" (List.map Vw_report.Journal.to_json failures));
   write "campaign.json" summary;
   write "index.html" (Vw_report.Campaign.html_index campaign)
 
@@ -1091,8 +1143,9 @@ let suite_cmd =
           ~doc:
             "Run with the flight recorder on and write the campaign \
              artifacts into $(docv): an HTML index, a vw-campaign/1 \
-             summary, per-case vw-cover/1 coverage and the rolled-up \
-             campaign coverage.")
+             summary, per-case vw-cover/1 coverage, the rolled-up campaign \
+             coverage and (when cases failed) a failures.jsonl journal — \
+             the directory layout $(b,vwctl compare) diffs.")
   in
   let run dir stop_on_failure opts campaign_out =
     let files =
@@ -1124,10 +1177,52 @@ let suite_cmd =
           files
       in
       let observe = campaign_out <> None in
+      (* journal records are built from the on_outcome hook, which fires in
+         case order after reduction — same records at every --jobs level *)
+      let base_seed =
+        match opts.seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
+      in
+      let idx = ref 0 in
+      let failure_records = ref [] in
+      let on_outcome (o : Vw_core.Suite.outcome) =
+        let i = !idx in
+        incr idx;
+        if not o.Vw_core.Suite.o_ok then begin
+          let oracle =
+            match o.Vw_core.Suite.o_expected with
+            | `Pass -> "expect_pass"
+            | `Fail -> "expect_fail"
+          in
+          let sim_s =
+            match o.Vw_core.Suite.o_result with
+            | Ok r -> Some (Vw_sim.Simtime.to_sec r.Scenario.duration)
+            | Error _ -> None
+          in
+          let tables_digest =
+            match o.Vw_core.Suite.o_tables with
+            | Some t -> Vw_report.Journal.digest_of_tables t
+            | None -> ""
+          in
+          failure_records :=
+            Vw_report.Journal.v ?sim_s ~tables_digest ~run_seed:base_seed
+              ~command:"suite" ~case:o.Vw_core.Suite.o_name ~index:i ~oracle
+              ~seed:base_seed
+              ~detail:(Vw_core.Suite.outcome_detail o)
+              ()
+            :: !failure_records
+        end
+      in
       let report =
         Vw_core.Suite.run ~jobs:opts.jobs ?chunk:opts.chunk ~observe
-          ?seed:opts.seed ~stop_on_failure cases
+          ?seed:opts.seed ~stop_on_failure ~on_outcome cases
       in
+      let failure_records = List.rev !failure_records in
+      (match opts.journal with
+      | None -> ()
+      | Some path -> (
+          match Vw_report.Journal.append path failure_records with
+          | Ok () -> ()
+          | Error e -> Printf.eprintf "warning: journal %s: %s\n%!" path e));
       let human =
         if opts.stats_json then Format.err_formatter else Format.std_formatter
       in
@@ -1146,7 +1241,9 @@ let suite_cmd =
       match campaign_out with
       | None -> if Vw_core.Suite.ok report then 0 else 2
       | Some out -> (
-          match write_campaign_dir out campaign ~summary with
+          match
+            write_campaign_dir ~failures:failure_records out campaign ~summary
+          with
           | () -> if Vw_core.Suite.ok report then 0 else 2
           | exception Sys_error e ->
               Printf.eprintf "error: %s\n" e;
@@ -1211,17 +1308,41 @@ let fuzz_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:
             "Re-run one saved reproducer (a file printed by a failing fuzz \
-             run or written by --save-failing) instead of generating cases.")
+             run or written by --save-failing) instead of generating cases. \
+             Its provenance header (oracle, run seed, case index) is \
+             printed when present.")
   in
-  let run runs opts shrink save_failing defect replay =
-    match replay with
-    | Some path -> (
-        match Vw_check.Fuzz.replay ~defect ~shrink path with
+  let replay_dir_arg =
+    Arg.(
+      value & opt (some dir) None
+      & info [ "replay-dir" ] ~docv:"DIR"
+          ~doc:
+            "Replay every .fsl reproducer in $(docv) in name order — how CI \
+             replays the promoted regression corpus. Exit 2 if any still \
+             fails, 1 if the directory holds no reproducers.")
+  in
+  let run runs opts shrink save_failing defect replay replay_dir =
+    match (replay, replay_dir) with
+    | Some _, Some _ ->
+        Printf.eprintf "error: --replay and --replay-dir are exclusive\n";
+        1
+    | Some path, None -> (
+        match
+          Vw_check.Fuzz.replay ?journal:opts.journal ~defect ~shrink path
+        with
         | Ok summary -> Vw_check.Fuzz.exit_code summary
         | Error e ->
             Printf.eprintf "%s\n" e;
             1)
-    | None ->
+    | None, Some dir -> (
+        match
+          Vw_check.Fuzz.replay_dir ?journal:opts.journal ~defect ~shrink dir
+        with
+        | Ok summary -> Vw_check.Fuzz.exit_code summary
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            1)
+    | None, None ->
         let seed =
           match opts.seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
         in
@@ -1235,6 +1356,7 @@ let fuzz_cmd =
             defect;
             jobs = opts.jobs;
             chunk = opts.chunk;
+            journal = opts.journal;
           }
         in
         let ppf =
@@ -1283,7 +1405,213 @@ let fuzz_cmd =
           clean, 2 on an oracle failure.")
     Term.(
       const run $ runs_arg $ campaign_opts_term $ shrink_arg $ save_arg
-      $ defect_arg $ replay_arg)
+      $ defect_arg $ replay_arg $ replay_dir_arg)
+
+(* --- triage / compare: campaign intelligence (lib/report) --- *)
+
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let triage_cmd =
+  let journal_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Failure journal to triage (vw-failures/1 JSON Lines).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int Vw_report.Triage.default_threshold
+      & info [ "threshold" ] ~docv:"N"
+          ~doc:
+            "Occurrences before a signature counts as recurring (default 3 \
+             — the rule of three).")
+  in
+  let fail_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-recurring" ]
+          ~doc:
+            "Exit 2 when any signature recurs ($(b,--threshold) or more \
+             occurrences) — the nightly-fuzz CI gate.")
+  in
+  let promote_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "promote" ] ~docv:"DIR"
+          ~doc:
+            "Promote each recurring cluster's reproducer into $(docv) as \
+             sig-<signature>.fsl (the regression corpus $(b,vwctl fuzz \
+             --replay-dir) replays), creating the directory if needed.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the cluster table as JSON (schema vw-triage/1).")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Also write the self-contained fleet dashboard (signature \
+             clusters with trend sparklines, per-scenario health) to \
+             $(docv).")
+  in
+  let run journal_path threshold fail_on_recurring promote json html =
+    match Vw_report.Journal.load journal_path with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok records -> (
+        let clusters = Vw_report.Triage.clusters records in
+        if json then
+          print_string (Vw_report.Triage.to_json ~threshold clusters)
+        else Format.printf "%a" (Vw_report.Triage.pp ~threshold) clusters;
+        (match html with
+        | Some path ->
+            write_text_file path
+              (Vw_report.Html_report.render_fleet ~journal:records ~clusters
+                 ~threshold ());
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        let recurring = Vw_report.Triage.recurring ~threshold clusters in
+        let promoted =
+          match promote with
+          | None -> Ok ()
+          | Some dir -> (
+              match Vw_report.Triage.promote ~corpus_dir:dir recurring with
+              | Ok written ->
+                  List.iter
+                    (fun (signature, dest) ->
+                      Printf.printf "promoted %s -> %s\n" signature dest)
+                    written;
+                  Ok ()
+              | Error e -> Error e)
+        in
+        match promoted with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+        | Ok () ->
+            if fail_on_recurring && recurring <> [] then begin
+              Printf.eprintf
+                "%d signature(s) recurring at threshold %d — see the \
+                 cluster table\n"
+                (List.length recurring) threshold;
+              2
+            end
+            else 0)
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Cluster a failure journal by signature (oracle + normalized \
+          diagnosis), flag signatures seen --threshold or more times (the \
+          rule of three), and optionally promote their reproducers into \
+          the regression corpus. Exit 2 with --fail-on-recurring when a \
+          recurring signature exists.")
+    Term.(
+      const run $ journal_pos $ threshold_arg $ fail_arg $ promote_arg
+      $ json_arg $ html_arg)
+
+let compare_cmd =
+  let old_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline campaign directory.")
+  in
+  let new_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate campaign directory.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "bench-delta" ] ~docv:"FILE"
+          ~doc:
+            "Fold the per-metric verdicts of a vw-bench-delta/1 file \
+             (written by scripts/bench_compare.sh) into the comparison.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the comparison as JSON (schema vw-compare/1).")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Also write the fleet dashboard with the comparison table to \
+             $(docv).")
+  in
+  let fail_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-regression" ]
+          ~doc:
+            "Exit 4 when NEW regresses OLD: a case flipped pass to fail, a \
+             new failure signature appeared, rule coverage dropped, or a \
+             bench metric regressed.")
+  in
+  let run old_dir new_dir bench json html fail_on_regression =
+    match
+      ( Vw_report.Compare.load_side old_dir,
+        Vw_report.Compare.load_side new_dir )
+    with
+    | Error e, _ | _, Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok old_side, Ok new_side ->
+        let bench =
+          match bench with
+          | None -> []
+          | Some path -> (
+              match Vw_report.Compare.load_bench_delta path with
+              | Ok b -> b
+              | Error e ->
+                  Printf.eprintf "warning: --bench-delta %s: %s\n" path e;
+                  [])
+        in
+        let t = Vw_report.Compare.analyze ~bench ~old_side ~new_side () in
+        if json then print_string (Vw_report.Compare.to_json t)
+        else Format.printf "%a" Vw_report.Compare.pp t;
+        (match html with
+        | Some path ->
+            write_text_file path
+              (Vw_report.Html_report.render_fleet
+                 ~title:"VirtualWire campaign comparison"
+                 ~journal:new_side.Vw_report.Compare.s_journal ~compare:t ());
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        if fail_on_regression && Vw_report.Compare.regressions t <> [] then 4
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two campaign directories (vwctl suite --campaign-out): case \
+          pass/fail changes, per-rule/filter/counter coverage deltas, \
+          new/fixed/persisting failure signatures from their journals, and \
+          optionally bench verdicts. Exit 4 on regression with \
+          --fail-on-regression.")
+    Term.(
+      const run $ old_pos $ new_pos $ bench_arg $ json_arg $ html_arg
+      $ fail_arg)
 
 (* --- script --- *)
 
@@ -1372,7 +1700,23 @@ let events_cmd =
 
 let () =
   let doc = "network fault injection and analysis (VirtualWire, ICDCS 2003)" in
-  let info = Cmd.info "vwctl" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "Every subcommand exits 0 on success and 1 on usage, script or I/O \
+         errors. Verdict exits are distinct per subcommand so CI can tell \
+         a broken invocation from a failed check:";
+      `Pre
+        "  2  run/suite: a scenario or suite case failed\n\
+        \  2  fuzz: an oracle failure was found (or a reproducer still \
+         fails)\n\
+        \  2  triage --fail-on-recurring: a signature recurs\n\
+        \  3  cover --fail-under: rule coverage below the threshold\n\
+        \  4  compare --fail-on-regression: NEW regresses OLD";
+    ]
+  in
+  let info = Cmd.info "vwctl" ~version:"1.0.0" ~doc ~man in
   exit
     (Cmd.eval'
        (Cmd.group info
@@ -1385,6 +1729,8 @@ let () =
             report_cmd;
             suite_cmd;
             fuzz_cmd;
+            triage_cmd;
+            compare_cmd;
             events_cmd;
             script_cmd;
           ]))

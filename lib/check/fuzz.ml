@@ -9,6 +9,7 @@ type config = {
   progress_every : int;
   jobs : int;
   chunk : int option;
+  journal : string option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     progress_every = 50;
     jobs = 1;
     chunk = None;
+    journal = None;
   }
 
 type found = {
@@ -30,6 +32,8 @@ type found = {
   failure : Oracles.failure;
   minimized : Gen.case option;
   shrink_runs : int;
+  sim_s : float option;
+  tables_digest : string;
 }
 
 type summary = { runs_done : int; found : found option }
@@ -53,7 +57,7 @@ let record_outcome tally (o : Runner.outcome) =
   | Error _ -> ());
   if o.Runner.o_truncated then tally.truncated <- tally.truncated + 1
 
-let save_reproducer dir ~case ~minimized =
+let save_reproducer ?origin dir ~case ~minimized =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let write name contents =
     let oc = open_out (Filename.concat dir name) in
@@ -61,10 +65,15 @@ let save_reproducer dir ~case ~minimized =
     close_out oc;
     Filename.concat dir name
   in
-  let orig = write (Printf.sprintf "case-%d.fsl" case.Gen.seed) (Gen.to_fsl case) in
+  let orig =
+    write (Printf.sprintf "case-%d.fsl" case.Gen.seed) (Gen.to_fsl ?origin case)
+  in
   let min_file =
     Option.map
-      (fun m -> write (Printf.sprintf "case-%d-min.fsl" case.Gen.seed) (Gen.to_fsl m))
+      (fun m ->
+        write
+          (Printf.sprintf "case-%d-min.fsl" case.Gen.seed)
+          (Gen.to_fsl ?origin m))
       minimized
   in
   (orig, min_file)
@@ -80,6 +89,22 @@ let run_one ~defect case =
           } )
   | Ok o -> (Some o, Oracles.check ~defect o)
 
+(* the journal clusters crashes by exception constructor, not by the full
+   (address-bearing) message *)
+let journal_detail (failure : Oracles.failure) =
+  if String.equal failure.Oracles.oracle "worker_crash" then
+    let msg = failure.Oracles.detail in
+    let prefix = "job raised: " in
+    let plen = String.length prefix in
+    let msg =
+      if String.length msg >= plen && String.sub msg 0 plen = prefix then
+        String.sub msg plen (String.length msg - plen)
+      else msg
+    in
+    Vw_report.Journal.exn_constructor msg
+  else failure.Oracles.detail
+
+(* returns the saved (original, minimized) reproducer paths, when saving *)
 let report_failure ppf cfg f =
   Format.fprintf ppf "@.FAILURE at run %d (case seed %d)@." f.run_index
     f.case_seed;
@@ -99,15 +124,49 @@ let report_failure ppf cfg f =
       Format.fprintf ppf "--- minimized (size %d, %d shrink runs) ---@.%s"
         (Gen.size m) f.shrink_runs (Gen.to_fsl m)
   | None -> ());
-  (match cfg.save_failing with
-  | Some dir ->
-      let orig, min_file =
-        save_reproducer dir ~case:f.case ~minimized:f.minimized
-      in
-      Format.fprintf ppf "saved: %s%s@." orig
-        (match min_file with Some p -> " and " ^ p | None -> "")
-  | None -> ());
-  Format.pp_print_flush ppf ()
+  let saved =
+    match cfg.save_failing with
+    | Some dir ->
+        let origin =
+          {
+            Gen.og_oracle = f.failure.Oracles.oracle;
+            og_run_seed = cfg.seed;
+            og_case_index = f.run_index;
+          }
+        in
+        let orig, min_file =
+          save_reproducer ~origin dir ~case:f.case ~minimized:f.minimized
+        in
+        Format.fprintf ppf "saved: %s%s@." orig
+          (match min_file with Some p -> " and " ^ p | None -> "");
+        Some (orig, min_file)
+    | None -> None
+  in
+  Format.pp_print_flush ppf ();
+  saved
+
+let journal_record cfg ~command ~saved f =
+  let repro =
+    match saved with
+    | Some (orig, min_file) -> Some (Option.value min_file ~default:orig)
+    | None -> None
+  in
+  Vw_report.Journal.v ?repro ?sim_s:f.sim_s ~tables_digest:f.tables_digest
+    ~run_seed:cfg.seed ~command
+    ~case:(Printf.sprintf "case-%d" f.run_index)
+    ~index:f.run_index ~oracle:f.failure.Oracles.oracle ~seed:f.case_seed
+    ~detail:(journal_detail f.failure) ()
+
+let journal_append ppf cfg ~command ~saved f =
+  match cfg.journal with
+  | None -> ()
+  | Some path -> (
+      let r = journal_record cfg ~command ~saved f in
+      match Vw_report.Journal.append path [ r ] with
+      | Ok () ->
+          Format.fprintf ppf "journal: signature %s appended to %s@."
+            r.Vw_report.Journal.r_signature path
+      | Error e -> Format.fprintf ppf "journal: %s@." e)
 
 (* What one campaign job ships back to the reducer: the generated case, the
    first failing oracle (if any) and this run's tally contribution. The job
@@ -117,6 +176,8 @@ type case_run = {
   cr_case : Gen.case;
   cr_failure : Oracles.failure option;
   cr_tally : tally;
+  cr_sim_s : float option;
+  cr_tables_digest : string;
 }
 
 let worker_crash_oracle = "worker_crash"
@@ -138,10 +199,20 @@ let case_job cfg i =
       let case_seed = (cfg.seed + i) land max_int in
       let case = Gen.generate ~seed:case_seed in
       let tally = fresh_tally () in
+      let sim_s = ref None in
+      let digest = ref "" in
       let failure =
         match run_one ~defect:cfg.defect case with
         | outcome, failure ->
-            Option.iter (record_outcome tally) outcome;
+            Option.iter
+              (fun (o : Runner.outcome) ->
+                record_outcome tally o;
+                digest := Vw_report.Journal.digest_of_tables o.Runner.o_tables;
+                match o.Runner.o_result with
+                | Ok r ->
+                    sim_s := Some (Vw_sim.Simtime.to_sec r.Scenario.duration)
+                | Error _ -> ())
+              outcome;
             failure
         | exception e ->
             (* a raising job is this case's failure, with its seed for
@@ -154,7 +225,13 @@ let case_job cfg i =
       in
       Vw_exec.Job.result
         ~verdict:(if failure = None then `Pass else `Fail)
-        { cr_case = case; cr_failure = failure; cr_tally = tally })
+        {
+          cr_case = case;
+          cr_failure = failure;
+          cr_tally = tally;
+          cr_sim_s = !sim_s;
+          cr_tables_digest = !digest;
+        })
 
 let shrink_found cfg ~case ~failure =
   if cfg.shrink && failure.Oracles.oracle <> worker_crash_oracle then begin
@@ -199,6 +276,8 @@ let execute ?(ppf = Format.std_formatter) cfg =
                 failure = { Oracles.oracle = worker_crash_oracle; detail = msg };
                 minimized = None;
                 shrink_runs = 0;
+                sim_s = None;
+                tables_digest = "";
               }
       | _, Some cr -> (
           add_tally tally cr.cr_tally;
@@ -216,6 +295,8 @@ let execute ?(ppf = Format.std_formatter) cfg =
                     failure;
                     minimized;
                     shrink_runs;
+                    sim_s = cr.cr_sim_s;
+                    tables_digest = cr.cr_tables_digest;
                   }
           | None ->
               if cfg.progress_every > 0 && (i + 1) mod cfg.progress_every = 0
@@ -224,7 +305,9 @@ let execute ?(ppf = Format.std_formatter) cfg =
     outcomes;
   let runs_done = List.length outcomes in
   (match !found with
-  | Some f -> report_failure ppf cfg f
+  | Some f ->
+      let saved = report_failure ppf cfg f in
+      journal_append ppf cfg ~command:"fuzz" ~saved f
   | None ->
       Format.fprintf ppf
         "no failures in %d runs (stopped %d, timed_out %d, ran_to_limit %d, \
@@ -234,7 +317,7 @@ let execute ?(ppf = Format.std_formatter) cfg =
   Format.pp_print_flush ppf ();
   { runs_done; found = !found }
 
-let replay ?(ppf = Format.std_formatter) ~defect ~shrink path =
+let replay ?(ppf = Format.std_formatter) ?journal ~defect ~shrink path =
   match
     try Ok (In_channel.with_open_bin path In_channel.input_all)
     with Sys_error e -> Error e
@@ -245,10 +328,23 @@ let replay ?(ppf = Format.std_formatter) ~defect ~shrink path =
       | Error e -> Error (Printf.sprintf "%s: %s" path e)
       | Ok case ->
           let cfg =
-            { default_config with runs = 1; seed = case.Gen.seed; shrink; defect }
+            {
+              default_config with
+              runs = 1;
+              seed = case.Gen.seed;
+              shrink;
+              defect;
+              journal;
+            }
           in
           Format.fprintf ppf "replaying %s (case seed %d)@." path case.Gen.seed;
-          let _, failure = run_one ~defect case in
+          (match Gen.origin_of_fsl text with
+          | Some o ->
+              Format.fprintf ppf
+                "origin: oracle %s, run seed %d, case index %d@."
+                o.Gen.og_oracle o.Gen.og_run_seed o.Gen.og_case_index
+          | None -> ());
+          let outcome, failure = run_one ~defect case in
           let summary =
             match failure with
             | None ->
@@ -273,12 +369,64 @@ let replay ?(ppf = Format.std_formatter) ~defect ~shrink path =
                     failure;
                     minimized;
                     shrink_runs;
+                    sim_s =
+                      Option.bind outcome (fun (o : Runner.outcome) ->
+                          match o.Runner.o_result with
+                          | Ok r ->
+                              Some
+                                (Vw_sim.Simtime.to_sec r.Scenario.duration)
+                          | Error _ -> None);
+                    tables_digest =
+                      (match outcome with
+                      | Some o ->
+                          Vw_report.Journal.digest_of_tables o.Runner.o_tables
+                      | None -> "");
                   }
                 in
-                report_failure ppf cfg f;
+                let saved = report_failure ppf cfg f in
+                journal_append ppf cfg ~command:"replay" ~saved f;
                 { runs_done = 1; found = Some f }
           in
           Format.pp_print_flush ppf ();
           Ok summary)
+
+let replay_dir ?(ppf = Format.std_formatter) ?journal ~defect ~shrink dir =
+  match (try Ok (Sys.readdir dir) with Sys_error e -> Error e) with
+  | Error e -> Error e
+  | Ok names -> (
+      let files =
+        Array.to_list names
+        |> List.filter (fun n -> Filename.check_suffix n ".fsl")
+        |> List.sort String.compare
+        |> List.map (Filename.concat dir)
+      in
+      if files = [] then
+        Error (Printf.sprintf "%s holds no .fsl reproducers" dir)
+      else begin
+        let total = List.length files in
+        Format.fprintf ppf "replaying %d reproducers from %s@." total dir;
+        let failures = ref 0 in
+        let first_found = ref None in
+        let err = ref None in
+        List.iter
+          (fun path ->
+            if !err = None then
+              match replay ~ppf ?journal ~defect ~shrink path with
+              | Error e -> err := Some e
+              | Ok s -> (
+                  match s.found with
+                  | Some f ->
+                      incr failures;
+                      if !first_found = None then first_found := Some f
+                  | None -> ()))
+          files;
+        match !err with
+        | Some e -> Error e
+        | None ->
+            Format.fprintf ppf "replay-dir: %d/%d reproducers failing@."
+              !failures total;
+            Format.pp_print_flush ppf ();
+            Ok { runs_done = total; found = !first_found }
+      end)
 
 let exit_code s = match s.found with None -> 0 | Some _ -> 2

@@ -24,11 +24,16 @@ type config = {
       (** cases claimed per worker draw; [None] = auto-tuned
           ({!Vw_exec.Executor.auto_chunk}). Pure scheduling knob: output
           is identical at any value. *)
+  journal : string option;
+      (** failure journal ([vw-failures/1] JSONL) to append each found
+          failure to. Records carry no wall-clock fields and are appended
+          after reduction, so the journal is byte-identical at every
+          [jobs] level. *)
 }
 
 val default_config : config
 (** 200 runs, seed {!Vw_util.Prng.run_seed}, no shrinking, no defect,
-    progress every 50 runs, [jobs = 1], auto chunk. *)
+    progress every 50 runs, [jobs = 1], auto chunk, no journal. *)
 
 type found = {
   run_index : int;
@@ -37,6 +42,8 @@ type found = {
   failure : Oracles.failure;
   minimized : Gen.case option;
   shrink_runs : int;
+  sim_s : float option;  (** simulated seconds the failing case ran *)
+  tables_digest : string;  (** digest of its compiled tables; "" if none *)
 }
 
 type summary = { runs_done : int; found : found option }
@@ -48,12 +55,27 @@ val execute : ?ppf:Format.formatter -> config -> summary
 
 val replay :
   ?ppf:Format.formatter ->
+  ?journal:string ->
   defect:Oracles.defect ->
   shrink:bool ->
   string ->
   (summary, string) result
 (** [replay path] re-runs one saved reproducer file ({!Gen.to_fsl}
-    format). *)
+    format), printing its {!Gen.origin} header when it has one. With
+    [journal], a failing replay appends a [command = "replay"] record. *)
+
+val replay_dir :
+  ?ppf:Format.formatter ->
+  ?journal:string ->
+  defect:Oracles.defect ->
+  shrink:bool ->
+  string ->
+  (summary, string) result
+(** [replay_dir dir] replays every [.fsl] file in [dir] in name order —
+    how CI replays the promoted [test/regression/] corpus. [Error] if the
+    directory is unreadable or holds no reproducers; otherwise
+    [runs_done] counts the files and [found] is the {e first} failing
+    one (so {!exit_code} reports 2 when any reproducer still fails). *)
 
 val exit_code : summary -> int
 (** 0 when no failure was found, 2 otherwise. *)

@@ -327,9 +327,17 @@ let size c =
   + List.length c.script.Ast.nodes
   + List.length c.sends
 
-let to_fsl c =
+type origin = { og_oracle : string; og_run_seed : int; og_case_index : int }
+
+let to_fsl ?origin c =
   let b = Buffer.create 1024 in
   Printf.bprintf b "# vw-fuzz: seed %d max_ms %d\n" c.seed c.max_ms;
+  (match origin with
+  | Some o ->
+      Printf.bprintf b "# vw-fuzz: oracle %s\n" o.og_oracle;
+      Printf.bprintf b "# vw-fuzz: run_seed %d case_index %d\n" o.og_run_seed
+        o.og_case_index
+  | None -> ());
   Array.iteri
     (fun k (sp, dp) -> Printf.bprintf b "# vw-fuzz: kind %d sport %d dport %d\n" k sp dp)
     c.kinds;
@@ -341,47 +349,68 @@ let to_fsl c =
   Buffer.add_string b (Ast.script_to_string c.script);
   Buffer.contents b
 
+(* every [# vw-fuzz:] header line, split into words *)
+let fuzz_directives text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         match String.index_opt line ':' with
+         | Some i when String.length line > 9 && String.sub line 0 9 = "# vw-fuzz"
+           ->
+             let rest = String.sub line (i + 1) (String.length line - i - 1) in
+             Some
+               ( line,
+                 String.split_on_char ' ' rest
+                 |> List.filter (fun w -> w <> "") )
+         | _ -> None)
+
+let origin_of_fsl text =
+  let oracle = ref None and run_seed = ref None and case_index = ref None in
+  List.iter
+    (fun (_, words) ->
+      match words with
+      | [ "oracle"; name ] -> oracle := Some name
+      | [ "run_seed"; rs; "case_index"; ci ] ->
+          run_seed := int_of_string_opt rs;
+          case_index := int_of_string_opt ci
+      | _ -> ())
+    (fuzz_directives text);
+  match (!oracle, !run_seed, !case_index) with
+  | Some og_oracle, Some og_run_seed, Some og_case_index ->
+      Some { og_oracle; og_run_seed; og_case_index }
+  | _ -> None
+
 let of_fsl text =
   let seed = ref 0
   and max_ms = ref 800
   and kinds = ref []
   and sends = ref [] in
   let bad = ref None in
-  String.split_on_char '\n' text
-  |> List.iter (fun line ->
-         let line = String.trim line in
-         match String.index_opt line ':' with
-         | Some i when String.length line > 9 && String.sub line 0 9 = "# vw-fuzz"
-           -> (
-             let rest = String.sub line (i + 1) (String.length line - i - 1) in
-             let words =
-               String.split_on_char ' ' rest
-               |> List.filter (fun w -> w <> "")
-             in
-             match words with
-             | [ "seed"; s; "max_ms"; m ] -> (
-                 match (int_of_string_opt s, int_of_string_opt m) with
-                 | Some s, Some m ->
-                     seed := s;
-                     max_ms := m
-                 | _ -> bad := Some line)
-             | [ "kind"; k; "sport"; sp; "dport"; dp ] -> (
-                 match
-                   ( int_of_string_opt k,
-                     int_of_string_opt sp,
-                     int_of_string_opt dp )
-                 with
-                 | Some k, Some sp, Some dp -> kinds := (k, (sp, dp)) :: !kinds
-                 | _ -> bad := Some line)
-             | [ "send"; a; s; d; k; l ] -> (
-                 match
-                   List.map int_of_string_opt [ a; s; d; k; l ]
-                 with
-                 | [ Some at_ms; Some src; Some dst; Some kind; Some len ] ->
-                     sends := { at_ms; src; dst; kind; len } :: !sends
-                 | _ -> bad := Some line)
-             | _ -> bad := Some line)
-         | _ -> ());
+  List.iter
+    (fun (line, words) ->
+      match words with
+      | [ "seed"; s; "max_ms"; m ] -> (
+          match (int_of_string_opt s, int_of_string_opt m) with
+          | Some s, Some m ->
+              seed := s;
+              max_ms := m
+          | _ -> bad := Some line)
+      | [ "kind"; k; "sport"; sp; "dport"; dp ] -> (
+          match
+            (int_of_string_opt k, int_of_string_opt sp, int_of_string_opt dp)
+          with
+          | Some k, Some sp, Some dp -> kinds := (k, (sp, dp)) :: !kinds
+          | _ -> bad := Some line)
+      | [ "send"; a; s; d; k; l ] -> (
+          match List.map int_of_string_opt [ a; s; d; k; l ] with
+          | [ Some at_ms; Some src; Some dst; Some kind; Some len ] ->
+              sends := { at_ms; src; dst; kind; len } :: !sends
+          | _ -> bad := Some line)
+      (* origin metadata (see [origin_of_fsl]) — tolerated, not required,
+         so pre-origin reproducers and hand-trimmed files still replay *)
+      | [ "oracle"; _ ] | [ "run_seed"; _; "case_index"; _ ] -> ()
+      | _ -> bad := Some line)
+    (fuzz_directives text);
   match !bad with
   | Some line -> Error (Printf.sprintf "bad vw-fuzz directive: %s" line)
   | None -> (

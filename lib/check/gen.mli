@@ -33,12 +33,24 @@ val payload : kind:int -> len:int -> bytes
 (** The UDP payload a send of this kind/length carries — deterministic so
     filters can (sometimes) match payload bytes. *)
 
-val to_fsl : case -> string
+type origin = { og_oracle : string; og_run_seed : int; og_case_index : int }
+(** Provenance a saved reproducer carries in its header: the oracle that
+    failed, the campaign's run seed and the case's index within it — the
+    same fields its [vw-failures/1] journal record holds, so a [.fsl] file
+    found in a corpus is self-describing. *)
+
+val to_fsl : ?origin:origin -> case -> string
 (** Replayable form: [# vw-fuzz:] metadata comments followed by the script
-    in concrete FSL syntax. *)
+    in concrete FSL syntax. With [origin], two extra header directives
+    ([oracle …] and [run_seed … case_index …]) record where the case came
+    from. *)
 
 val of_fsl : string -> (case, string) result
-(** Parse {!to_fsl} output (metadata comments + FSL). *)
+(** Parse {!to_fsl} output (metadata comments + FSL). Origin directives
+    are tolerated and ignored — replay does not depend on provenance. *)
+
+val origin_of_fsl : string -> origin option
+(** The provenance header of a saved reproducer, when present. *)
 
 val size : case -> int
 (** Shrinking metric: rules + actions + filters + counters + nodes +

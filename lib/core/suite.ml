@@ -98,24 +98,27 @@ let report_of_outcomes outcomes =
     failed = List.length (List.filter (fun o -> not o.o_ok) outcomes);
   }
 
-let run ?(jobs = 1) ?chunk ?observe ?seed ?(stop_on_failure = false) cases =
+let run ?(jobs = 1) ?chunk ?observe ?seed ?(stop_on_failure = false)
+    ?on_outcome cases =
   let plan = plan ?observe ?seed cases in
   let stop_after =
     if stop_on_failure then
       Some (fun (o : _ Vw_exec.Outcome.t) -> not (Vw_exec.Outcome.passed o))
     else None
   in
-  let outcomes = Vw_exec.Executor.run ~jobs ?chunk ?stop_after plan in
-  let outcomes =
-    List.map
-      (fun (o : _ Vw_exec.Outcome.t) ->
-        match (o.Vw_exec.Outcome.verdict, o.Vw_exec.Outcome.payload) with
-        | Vw_exec.Outcome.Crash msg, _ -> crash_outcome cases o msg
-        | _, Some oc -> oc
-        | _, None -> crash_outcome cases o "missing payload")
-      outcomes
+  let to_outcome (o : _ Vw_exec.Outcome.t) =
+    match (o.Vw_exec.Outcome.verdict, o.Vw_exec.Outcome.payload) with
+    | Vw_exec.Outcome.Crash msg, _ -> crash_outcome cases o msg
+    | _, Some oc -> oc
+    | _, None -> crash_outcome cases o "missing payload"
   in
-  report_of_outcomes outcomes
+  let on_outcome =
+    Option.map (fun f (o : _ Vw_exec.Outcome.t) -> f (to_outcome o)) on_outcome
+  in
+  let outcomes =
+    Vw_exec.Executor.run ~jobs ?chunk ?stop_after ?on_outcome plan
+  in
+  report_of_outcomes (List.map to_outcome outcomes)
 
 let ok report = report.failed = 0
 

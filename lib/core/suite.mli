@@ -54,6 +54,7 @@ val run :
   ?observe:bool ->
   ?seed:int ->
   ?stop_on_failure:bool ->
+  ?on_outcome:(outcome -> unit) ->
   case list ->
   report
 (** Runs the cases in order ([jobs = 1], the default) or across [jobs]
@@ -63,7 +64,10 @@ val run :
     false) the report is cut at the first mismatch in case order; cases
     beyond it are skipped (sequentially) or discarded (in parallel). A
     case whose worker raises is reported as that case failing with
-    [Error "worker crashed: …"]; the rest of the suite still runs. *)
+    [Error "worker crashed: …"]; the rest of the suite still runs.
+    [on_outcome] fires on the calling domain for each outcome of the
+    returned report, in case order, after reduction (see
+    {!Vw_exec.Executor.run}) — the hook the failure journal hangs off. *)
 
 val ok : report -> bool
 

@@ -120,10 +120,11 @@ let run_parallel ~pool ~jobs ~chunk ?stop_after plan =
 
 let effective_jobs ~jobs = max 1 (min jobs (default_jobs ()))
 
-let run ?(jobs = 1) ?chunk ?pool ?stop_after plan =
+let run ?(jobs = 1) ?chunk ?pool ?stop_after ?on_outcome plan =
   let n = Plan.length plan in
-  if n = 0 then []
-  else
+  let outcomes =
+    if n = 0 then []
+    else
     (* On the implicit-pool path, never run more domains than the machine
        has cores: for CPU-bound deterministic jobs, oversubscription only
        multiplies minor-GC barriers (every minor collection synchronizes
@@ -131,12 +132,21 @@ let run ?(jobs = 1) ?chunk ?pool ?stop_after plan =
        safepoint). Passing an explicit [pool] opts out — benchmarks and
        tests that need to exercise the parallel path regardless of the
        host's core count. *)
-    let jobs =
-      match pool with
-      | Some _ -> max 1 (min jobs n)
-      | None -> min (effective_jobs ~jobs) n
-    in
-    if jobs = 1 then run_sequential ?stop_after plan
-    else
-      let pool = match pool with Some p -> p | None -> Pool.global () in
-      run_parallel ~pool ~jobs ~chunk ?stop_after plan
+      let jobs =
+        match pool with
+        | Some _ -> max 1 (min jobs n)
+        | None -> min (effective_jobs ~jobs) n
+      in
+      if jobs = 1 then run_sequential ?stop_after plan
+      else
+        let pool = match pool with Some p -> p | None -> Pool.global () in
+        run_parallel ~pool ~jobs ~chunk ?stop_after plan
+  in
+  (* the hook sees the final reduced list in plan order, on the calling
+     domain — exactly once per returned outcome, never for discarded
+     stragglers, so side effects (the failure journal) stay byte-identical
+     at every [jobs] level *)
+  (match on_outcome with
+  | Some f -> List.iter f outcomes
+  | None -> ());
+  outcomes

@@ -35,6 +35,7 @@ val run :
   ?chunk:int ->
   ?pool:Pool.t ->
   ?stop_after:('a Outcome.t -> bool) ->
+  ?on_outcome:('a Outcome.t -> unit) ->
   'a Plan.t ->
   'a Outcome.t list
 (** [run ~jobs plan] executes every job and returns outcomes in plan
@@ -56,7 +57,13 @@ val run :
     jobs are never started; in parallel, workers stop claiming spans
     beyond the earliest satisfying index (and skip the tail of a claimed
     span past it) and any already-running straggler results are discarded
-    by the reducer — either way the returned list is identical. *)
+    by the reducer — either way the returned list is identical.
+
+    [on_outcome] is invoked on the calling domain for each {e returned}
+    outcome, in plan order, after reduction — once per outcome, never for
+    stragglers the reducer dropped. Side effects made from it (appending
+    to a failure journal, progress accounting) are therefore identical at
+    every [jobs]/[chunk] combination. *)
 
 val reduce :
   ?stop_after:('a Outcome.t -> bool) ->

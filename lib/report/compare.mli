@@ -1,0 +1,104 @@
+(** Campaign-over-campaign regression detection ([vwctl compare OLD NEW]).
+
+    A campaign directory ([vwctl suite --campaign-out]) is a durable,
+    comparable artifact: [campaign.json] (vw-campaign/1),
+    [campaign-cover.json] (vw-cover/1) and, when failures occurred,
+    [failures.jsonl] (vw-failures/1). This module diffs two of them:
+
+    - {e cases}: which entries flipped pass→fail (regressed) or
+      fail→pass (fixed), appeared or disappeared;
+    - {e coverage}: per-rule fire-count and furthest-stage deltas, per
+      filter/counter match deltas, and the headline rule-coverage
+      percentage;
+    - {e failure signatures}: set difference of the two journals — new
+      (in NEW only), fixed (in OLD only), persisting (in both);
+    - {e perf}: the per-metric verdicts of a [bench-delta.json]
+      (vw-bench-delta/1, written by scripts/bench_compare.sh).
+
+    [regressions] folds all four into the list of reasons that
+    [--fail-on-regression] exits 4 on. *)
+
+type side = {
+  s_dir : string;
+  s_command : string;
+  s_total : int;
+  s_passed : int;
+  s_failed : int;
+  s_entries : (string * bool * string) list;  (** (name, ok, detail) *)
+  s_cover : Coverage.t option;
+  s_journal : Journal.record list;
+}
+
+val load_side : string -> (side, string) result
+(** Read one campaign directory. [campaign.json] is required;
+    [campaign-cover.json] and [failures.jsonl] are optional. *)
+
+val health : side -> float
+(** loggy-style fleet health in [0, 100]: the pass rate, blended 70/30
+    with rule coverage when coverage is available. An empty campaign
+    scores 100. *)
+
+type entry_change = {
+  ec_name : string;
+  ec_old_ok : bool option;  (** [None] — the case is new *)
+  ec_new_ok : bool option;  (** [None] — the case disappeared *)
+  ec_detail : string;  (** the NEW side's detail (OLD's when removed) *)
+}
+
+type rule_delta = {
+  rd_rule : int;
+  rd_old_fired : int;
+  rd_new_fired : int;
+  rd_old_stage : Coverage.stage;
+  rd_new_stage : Coverage.stage;
+}
+
+type name_delta = { nd_name : string; nd_old : int; nd_new : int }
+
+type sig_status = New | Fixed | Persisting
+
+type sig_delta = {
+  sd_signature : string;
+  sd_oracle : string;
+  sd_status : sig_status;
+  sd_old_count : int;
+  sd_new_count : int;
+  sd_detail : string;  (** latest recorded diagnosis *)
+}
+
+type bench_metric = {
+  bm_metric : string;
+  bm_old : float;
+  bm_new : float;
+  bm_delta_pct : float;
+  bm_verdict : string;  (** "ok", "regressed" or "skipped" *)
+}
+
+val load_bench_delta : string -> (bench_metric list, string) result
+(** Read a [vw-bench-delta/1] file. *)
+
+type t = {
+  c_old : side;
+  c_new : side;
+  c_entry_changes : entry_change list;  (** only entries that changed *)
+  c_rule_deltas : rule_delta list;  (** only rules that changed *)
+  c_filter_deltas : name_delta list;  (** only filters that changed *)
+  c_counter_deltas : name_delta list;  (** only counters that changed *)
+  c_cover_comparable : bool;
+      (** false when either side lacks coverage or the rule structures
+          differ — per-rule deltas are suppressed, percentages are not *)
+  c_sigs : sig_delta list;  (** new first, then fixed, then persisting *)
+  c_bench : bench_metric list;
+}
+
+val analyze : ?bench:bench_metric list -> old_side:side -> new_side:side -> unit -> t
+
+val regressions : t -> string list
+(** The reasons NEW is worse than OLD: each pass→fail entry, each new
+    failure signature, a rule-coverage drop, each regressed bench metric.
+    Empty = no regression ([vwctl compare --fail-on-regression] exits 0). *)
+
+val to_json : t -> string
+(** Schema [vw-compare/1]; ends with a newline. *)
+
+val pp : Format.formatter -> t -> unit

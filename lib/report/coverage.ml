@@ -11,6 +11,14 @@ let stage_name = function
   | Filter_match -> "filter_match"
   | Nothing -> "nothing"
 
+let stage_of_name = function
+  | "fired" -> Some Fired
+  | "term_flip" -> Some Term_flip
+  | "counter_change" -> Some Counter_change
+  | "filter_match" -> Some Filter_match
+  | "nothing" -> Some Nothing
+  | _ -> None
+
 type rule_cov = { rule : int; rule_fired : int; furthest : stage }
 type filter_cov = { fid : int; fname : string; matched : int }
 type counter_cov = { cid : int; cname : string; changes : int }
@@ -167,6 +175,65 @@ let to_json t =
     (String.concat ", "
        (List.map (fun tm -> string_of_int tm.tid) (dead_terms t)));
   Buffer.contents b
+
+let of_json src =
+  match Json.parse src with
+  | Error e -> Error e
+  | Ok json -> (
+      let str j key = Option.bind (Json.mem key j) Json.to_string in
+      let int j key = Option.bind (Json.mem key j) Json.to_int in
+      let arr j sec field =
+        Option.bind (Json.mem sec j) (fun s ->
+            Option.bind (Json.mem field s) Json.to_list)
+      in
+      match str json "schema" with
+      | Some "vw-cover/1" -> (
+          let rules =
+            Option.map
+              (List.filter_map (fun r ->
+                   match
+                     ( int r "rule",
+                       int r "fired",
+                       Option.bind (str r "furthest") stage_of_name )
+                   with
+                   | Some rule, Some rule_fired, Some furthest ->
+                       Some { rule; rule_fired; furthest }
+                   | _ -> None))
+              (arr json "rules" "per_rule")
+          in
+          let filters =
+            Option.map
+              (List.filter_map (fun f ->
+                   match (int f "fid", str f "name", int f "matched") with
+                   | Some fid, Some fname, Some matched ->
+                       Some { fid; fname; matched }
+                   | _ -> None))
+              (arr json "filters" "per_filter")
+          in
+          let counters =
+            Option.map
+              (List.filter_map (fun c ->
+                   match (int c "cid", str c "name", int c "changes") with
+                   | Some cid, Some cname, Some changes ->
+                       Some { cid; cname; changes }
+                   | _ -> None))
+              (arr json "counters" "per_counter")
+          in
+          let terms =
+            Option.map
+              (List.filter_map (fun t ->
+                   match (int t "tid", int t "flips") with
+                   | Some tid, Some flips -> Some { tid; flips }
+                   | _ -> None))
+              (arr json "terms" "per_term")
+          in
+          match (str json "scenario", rules, filters, counters, terms) with
+          | Some scenario, Some rules, Some filters, Some counters, Some terms
+            -> Ok { scenario; rules; filters; counters; terms }
+          | _ -> Error "vw-cover/1 document is missing a required section")
+      | Some other ->
+          Error (Printf.sprintf "expected schema vw-cover/1, got %s" other)
+      | None -> Error "document has no schema tag")
 
 (* --- text rendering --- *)
 

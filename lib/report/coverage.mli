@@ -21,6 +21,9 @@ val stage_name : stage -> string
 (** ["fired"], ["term_flip"], ["counter_change"], ["filter_match"],
     ["nothing"] — the identifiers used in the [vw-cover/1] schema. *)
 
+val stage_of_name : string -> stage option
+(** Inverse of {!stage_name}. *)
+
 type rule_cov = { rule : int; rule_fired : int; furthest : stage }
 type filter_cov = { fid : int; fname : string; matched : int }
 type counter_cov = { cid : int; cname : string; changes : int }
@@ -52,6 +55,11 @@ val dead_terms : t -> term_cov list
 
 val to_json : t -> string
 (** Schema [vw-cover/1] (see docs/OBSERVABILITY.md); ends with a newline. *)
+
+val of_json : string -> (t, string) result
+(** Reload a saved [vw-cover/1] document — what [vwctl compare] does with
+    each campaign's [campaign-cover.json]. Inverse of {!to_json} up to the
+    derived totals, which are recomputed. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable coverage table, the [vwctl cover] default output. *)

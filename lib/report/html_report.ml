@@ -300,6 +300,289 @@ let add_errors b (tables : T.t) events =
       reports
   end
 
+(* --- fleet dashboard (vwctl triage --html / vwctl compare --html) --- *)
+
+(* one polyline over <= [spark_buckets] buckets of the journal's append
+   order: where in the campaign's history this signature kept showing up *)
+let spark_buckets = 24
+let spark_w = 140
+let spark_h = 26
+
+let add_sparkline b ~total ~positions =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let nb = min spark_buckets (max 1 total) in
+  let counts = Array.make nb 0 in
+  List.iter
+    (fun pos ->
+      let i = if total <= 1 then 0 else pos * nb / total in
+      let i = min (nb - 1) (max 0 i) in
+      counts.(i) <- counts.(i) + 1)
+    positions;
+  let peak = Array.fold_left max 1 counts in
+  let pt i c =
+    let x =
+      if nb = 1 then spark_w / 2 else 2 + (i * (spark_w - 4) / (nb - 1))
+    in
+    let y = spark_h - 2 - (c * (spark_h - 6) / peak) in
+    Printf.sprintf "%d,%d" x y
+  in
+  let points =
+    String.concat " " (List.init nb (fun i -> pt i counts.(i)))
+  in
+  add
+    "<svg class=\"spark\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" \
+     role=\"img\" aria-label=\"signature trend\"><polyline points=\"%s\" \
+     fill=\"none\" stroke=\"#b91c1c\" stroke-width=\"1.5\"/></svg>"
+    spark_w spark_h spark_w spark_h points
+
+let add_cluster_table b ~journal ~clusters ~threshold =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "<h2 id=\"signatures\">Failure signatures</h2>\n";
+  if clusters = [] then add "<p class=\"ok\">The journal holds no failures.</p>\n"
+  else begin
+    let total = List.length journal in
+    let positions_of signature =
+      List.mapi (fun i (r : Journal.record) -> (i, r)) journal
+      |> List.filter_map (fun (i, (r : Journal.record)) ->
+             if String.equal r.Journal.r_signature signature then Some i
+             else None)
+    in
+    add
+      "<table><tr><th>signature</th><th>oracle</th><th>count</th>\
+       <th>trend</th><th>seeds</th><th>diagnosis</th><th>reproducer</th>\
+       </tr>\n";
+    List.iter
+      (fun (c : Triage.cluster) ->
+        let recurring = c.Triage.count >= threshold in
+        let seeds =
+          let shown =
+            List.filteri (fun i _ -> i < 5) c.Triage.seeds
+            |> List.map string_of_int
+          in
+          let suffix =
+            if List.length c.Triage.seeds > 5 then ", &hellip;" else ""
+          in
+          String.concat ", " shown ^ suffix
+        in
+        add "<tr%s><td><code>%s</code>%s</td><td>%s</td><td class=\"num\">%d</td><td>"
+          (if recurring then " class=\"dead\"" else "")
+          (html_escape c.Triage.signature)
+          (if recurring then " <span class=\"bad\">recurring</span>" else "")
+          (html_escape c.Triage.oracle)
+          c.Triage.count;
+        add_sparkline b ~total ~positions:(positions_of c.Triage.signature);
+        add "</td><td>%s</td><td>%s</td><td>%s</td></tr>\n" seeds
+          (html_escape c.Triage.last.Journal.r_detail)
+          (match c.Triage.repro with
+          | Some p -> "<code>" ^ html_escape p ^ "</code>"
+          | None -> "&mdash;"))
+      clusters;
+    add "</table>\n"
+  end
+
+let compare_cases (a, _) (b, _) = String.compare a b
+
+let add_scenario_health b ~journal ~(compare : Compare.t option) =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let failures_by_case = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Journal.record) ->
+      let k = r.Journal.r_case in
+      Hashtbl.replace failures_by_case k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt failures_by_case k)))
+    journal;
+  match compare with
+  | Some cmp ->
+      add "<h2 id=\"health\">Scenario health</h2>\n";
+      add
+        "<table><tr><th>case</th><th>old</th><th>new</th>\
+         <th>journal failures</th></tr>\n";
+      let old_ok = Hashtbl.create 16 in
+      List.iter
+        (fun (name, ok, _) -> Hashtbl.replace old_ok name ok)
+        cmp.Compare.c_old.Compare.s_entries;
+      List.iter
+        (fun (name, ok, _) ->
+          let cell ok =
+            if ok then "<span class=\"ok\">pass</span>"
+            else "<span class=\"bad\">FAIL</span>"
+          in
+          let old_cell =
+            match Hashtbl.find_opt old_ok name with
+            | Some ok -> cell ok
+            | None -> "&mdash;"
+          in
+          add "<tr><td>%s</td><td>%s</td><td>%s</td><td class=\"num\">%d</td></tr>\n"
+            (html_escape name) old_cell (cell ok)
+            (Option.value ~default:0 (Hashtbl.find_opt failures_by_case name)))
+        cmp.Compare.c_new.Compare.s_entries;
+      add "</table>\n"
+  | None ->
+      if Hashtbl.length failures_by_case > 0 then begin
+        add "<h2 id=\"health\">Scenario health</h2>\n";
+        add "<table><tr><th>case</th><th>journal failures</th></tr>\n";
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) failures_by_case []
+        |> List.sort compare_cases
+        |> List.iter (fun (k, v) ->
+               add "<tr><td>%s</td><td class=\"num\">%d</td></tr>\n"
+                 (html_escape k) v);
+        add "</table>\n"
+      end
+
+let add_compare_section b (cmp : Compare.t) =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "<h2 id=\"compare\">Campaign comparison</h2>\n";
+  let side_chip label (s : Compare.side) =
+    add
+      "<span class=\"chip\">%s: %d/%d passed, health \
+       <span class=\"%s\">%.0f</span></span>"
+      label s.Compare.s_passed s.Compare.s_total
+      (if Compare.health s >= 90.0 then "ok" else "bad")
+      (Compare.health s)
+  in
+  add "<div class=\"chips\">";
+  side_chip "old" cmp.Compare.c_old;
+  side_chip "new" cmp.Compare.c_new;
+  let regs = Compare.regressions cmp in
+  add "<span class=\"chip\">regressions: <span class=\"%s\">%d</span></span>"
+    (if regs = [] then "ok" else "bad")
+    (List.length regs);
+  add "</div>\n";
+  if regs <> [] then begin
+    add "<ul>\n";
+    List.iter (fun r -> add "<li class=\"bad\">%s</li>\n" (html_escape r)) regs;
+    add "</ul>\n"
+  end;
+  if cmp.Compare.c_entry_changes <> [] then begin
+    add "<h3>Case changes</h3>\n";
+    add "<table><tr><th>case</th><th>old</th><th>new</th><th>detail</th></tr>\n";
+    List.iter
+      (fun (ec : Compare.entry_change) ->
+        let cell = function
+          | Some true -> "<span class=\"ok\">pass</span>"
+          | Some false -> "<span class=\"bad\">FAIL</span>"
+          | None -> "&mdash;"
+        in
+        add "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+          (html_escape ec.Compare.ec_name)
+          (cell ec.Compare.ec_old_ok) (cell ec.Compare.ec_new_ok)
+          (html_escape ec.Compare.ec_detail))
+      cmp.Compare.c_entry_changes;
+    add "</table>\n"
+  end;
+  if cmp.Compare.c_cover_comparable && cmp.Compare.c_rule_deltas <> [] then begin
+    add "<h3>Rule coverage deltas</h3>\n";
+    add
+      "<table><tr><th>rule</th><th>old fired</th><th>new fired</th>\
+       <th>old stage</th><th>new stage</th></tr>\n";
+    List.iter
+      (fun (rd : Compare.rule_delta) ->
+        add
+          "<tr%s><td>rule %d</td><td class=\"num\">%d</td>\
+           <td class=\"num\">%d</td><td>%s</td><td>%s</td></tr>\n"
+          (if rd.Compare.rd_new_fired < rd.Compare.rd_old_fired then
+             " class=\"dead\""
+           else "")
+          rd.Compare.rd_rule rd.Compare.rd_old_fired rd.Compare.rd_new_fired
+          (Coverage.stage_name rd.Compare.rd_old_stage)
+          (Coverage.stage_name rd.Compare.rd_new_stage))
+      cmp.Compare.c_rule_deltas;
+    add "</table>\n"
+  end;
+  let name_delta_table title (ds : Compare.name_delta list) =
+    if ds <> [] then begin
+      add "<h3>%s</h3>\n" title;
+      add "<table><tr><th>name</th><th>old</th><th>new</th></tr>\n";
+      List.iter
+        (fun (d : Compare.name_delta) ->
+          add
+            "<tr><td>%s</td><td class=\"num\">%d</td>\
+             <td class=\"num\">%d</td></tr>\n"
+            (html_escape d.Compare.nd_name)
+            d.Compare.nd_old d.Compare.nd_new)
+        ds;
+      add "</table>\n"
+    end
+  in
+  name_delta_table "Filter deltas" cmp.Compare.c_filter_deltas;
+  name_delta_table "Counter deltas" cmp.Compare.c_counter_deltas;
+  if cmp.Compare.c_sigs <> [] then begin
+    add "<h3>Signature deltas</h3>\n";
+    add
+      "<table><tr><th>signature</th><th>status</th><th>oracle</th>\
+       <th>old</th><th>new</th><th>diagnosis</th></tr>\n";
+    List.iter
+      (fun (sd : Compare.sig_delta) ->
+        let status, cls =
+          match sd.Compare.sd_status with
+          | Compare.New -> ("NEW", "bad")
+          | Compare.Fixed -> ("fixed", "ok")
+          | Compare.Persisting -> ("persisting", "")
+        in
+        add
+          "<tr><td><code>%s</code></td><td><span class=\"%s\">%s</span></td>\
+           <td>%s</td><td class=\"num\">%d</td><td class=\"num\">%d</td>\
+           <td>%s</td></tr>\n"
+          (html_escape sd.Compare.sd_signature)
+          cls status
+          (html_escape sd.Compare.sd_oracle)
+          sd.Compare.sd_old_count sd.Compare.sd_new_count
+          (html_escape sd.Compare.sd_detail))
+      cmp.Compare.c_sigs;
+    add "</table>\n"
+  end;
+  if cmp.Compare.c_bench <> [] then begin
+    add "<h3>Bench deltas</h3>\n";
+    add
+      "<table><tr><th>metric</th><th>old</th><th>new</th><th>delta</th>\
+       <th>verdict</th></tr>\n";
+    List.iter
+      (fun (bm : Compare.bench_metric) ->
+        add
+          "<tr><td>%s</td><td class=\"num\">%.1f</td>\
+           <td class=\"num\">%.1f</td><td class=\"num\">%+.1f%%</td>\
+           <td><span class=\"%s\">%s</span></td></tr>\n"
+          (html_escape bm.Compare.bm_metric)
+          bm.Compare.bm_old bm.Compare.bm_new bm.Compare.bm_delta_pct
+          (if String.equal bm.Compare.bm_verdict "regressed" then "bad"
+           else "ok")
+          (html_escape bm.Compare.bm_verdict))
+      cmp.Compare.c_bench;
+    add "</table>\n"
+  end
+
+let render_fleet ?title ?(journal = []) ?clusters ?compare
+    ?(threshold = Triage.default_threshold) () =
+  let clusters =
+    match clusters with Some cs -> cs | None -> Triage.clusters journal
+  in
+  let title =
+    match title with
+    | Some t -> t
+    | None -> "VirtualWire campaign intelligence"
+  in
+  let b = Buffer.create 16384 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add
+    "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+     <title>%s</title>\n<style>%s</style>\n</head>\n<body>\n"
+    (html_escape title) style;
+  add "<h1>%s</h1>\n" (html_escape title);
+  let recurring = List.length (Triage.recurring ~threshold clusters) in
+  add "<div class=\"chips\">";
+  add "<span class=\"chip\">journal failures: %d</span>" (List.length journal);
+  add "<span class=\"chip\">signatures: %d</span>" (List.length clusters);
+  add "<span class=\"chip\">recurring (&ge;%d): <span class=\"%s\">%d</span></span>"
+    threshold
+    (if recurring = 0 then "ok" else "bad")
+    recurring;
+  add "</div>\n";
+  add_cluster_table b ~journal ~clusters ~threshold;
+  add_scenario_health b ~journal ~compare;
+  (match compare with Some cmp -> add_compare_section b cmp | None -> ());
+  add "</body>\n</html>\n";
+  Buffer.contents b
+
 let render ~tables ~events ?metrics ?result ?title () =
   let cover = Coverage.analyze tables events in
   let title =

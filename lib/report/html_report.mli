@@ -18,3 +18,20 @@ val render :
 (** [result] adds the live run's outcome line (offline reports omit it);
     [metrics] adds the histogram section; [title] defaults to the
     scenario name from [tables]. *)
+
+val render_fleet :
+  ?title:string ->
+  ?journal:Journal.record list ->
+  ?clusters:Triage.cluster list ->
+  ?compare:Compare.t ->
+  ?threshold:int ->
+  unit ->
+  string
+(** The campaign-intelligence dashboard, equally self-contained: failure
+    signature clusters with per-signature trend sparklines over the
+    journal's history, per-scenario health, and — when [compare] is given
+    — the campaign-over-campaign table (case changes, coverage deltas,
+    new/fixed/persisting signatures, bench verdicts). [clusters] defaults
+    to {!Triage.clusters} of [journal]; [threshold] is the recurrence
+    flag (default {!Triage.default_threshold}). Written by
+    [vwctl triage --html] and [vwctl compare --html]. *)

@@ -1,0 +1,47 @@
+(** Journal triage: cluster failures by signature, surface the recurring
+    ones, and promote their reproducers into a regression corpus.
+
+    The "rule of three": a signature seen once is noise, twice is a
+    coincidence, three or more times is a pattern that has earned a place
+    in the regression corpus and a red flag in CI
+    ([vwctl triage --fail-on-recurring]). *)
+
+type cluster = {
+  signature : string;
+  oracle : string;
+  command : string;
+  count : int;
+  seeds : int list;  (** distinct reproducing seeds, first-seen order *)
+  first : Journal.record;
+  last : Journal.record;
+  repro : string option;
+      (** the latest recorded reproducer path for this signature *)
+}
+
+val default_threshold : int
+(** 3 — the rule of three. *)
+
+val clusters : Journal.record list -> cluster list
+(** Group records by signature. Ordered by count (descending), then by
+    first occurrence — a deterministic function of journal order. *)
+
+val recurring : ?threshold:int -> cluster list -> cluster list
+(** Clusters with [count >= threshold] (default {!default_threshold}). *)
+
+val promote :
+  corpus_dir:string ->
+  cluster list ->
+  ((string * string) list, string) result
+(** Copy each cluster's reproducer into [corpus_dir] as
+    [sig-<signature>.fsl], creating the directory if needed. Clusters
+    without a readable reproducer are skipped; a file already promoted is
+    overwritten (the latest reproducer wins). Returns
+    [(signature, dest_path)] for every file written, in cluster order. *)
+
+val to_json : ?threshold:int -> cluster list -> string
+(** Schema [vw-triage/1]: totals, threshold, and one object per cluster
+    (signature, oracle, command, count, recurring flag, seeds, detail of
+    the last occurrence, reproducer). Ends with a newline. *)
+
+val pp : ?threshold:int -> Format.formatter -> cluster list -> unit
+(** Human-readable cluster table, recurring clusters flagged. *)

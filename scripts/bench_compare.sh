@@ -8,9 +8,15 @@
 # Only metrics present in BOTH files are compared, so adding or removing
 # a benchmark never fails the gate — only a shared metric getting slower
 # does. Exit status: 0 ok, 1 regression(s), 2 usage/parse error.
+#
+# Alongside the human table, a machine-readable vw-bench-delta/1 document
+# (per-metric old/new/delta_pct/verdict) is written to BENCH_DELTA_OUT
+# (default bench-delta.json; set it to "" to skip) — the file
+# `vwctl compare --bench-delta` folds into a campaign comparison.
 set -eu
 
 THRESHOLD="${BENCH_COMPARE_THRESHOLD:-20}"
+DELTA_OUT="${BENCH_DELTA_OUT-bench-delta.json}"
 
 if [ "$#" -ne 2 ]; then
   echo "usage: $0 OLD.json NEW.json" >&2
@@ -70,7 +76,14 @@ flatten() {
 
 old_flat=$(mktemp)
 new_flat=$(mktemp)
-trap 'rm -f "$old_flat" "$new_flat" "$old_flat.t" "$new_flat.t"' EXIT
+delta_rows=$(mktemp)
+trap 'rm -f "$old_flat" "$new_flat" "$old_flat.t" "$new_flat.t" "$delta_rows"' EXIT
+
+# one "metric old new delta_pct verdict" line per compared metric,
+# rendered into the vw-bench-delta/1 document at the end
+delta_row() {
+  printf '%s %s %s %s %s\n' "$1" "$2" "$3" "$4" "$5" >> "$delta_rows"
+}
 flatten "$OLD" | sort > "$old_flat"
 flatten "$NEW" | sort > "$new_flat"
 
@@ -102,18 +115,22 @@ while read -r key old_val; do
   }')
   word=${verdict%% *}
   pct=${verdict#* }
+  pct_json=${pct#+}
   case "$word" in
   REGRESSED)
     printf 'REGRESSED  %-45s %12s -> %12s ns  (%s%%)\n' \
       "$key" "$old_val" "$new_val" "$pct"
+    delta_row "$key" "$old_val" "$new_val" "$pct_json" regressed
     status=1
     ;;
   ok)
     printf 'ok         %-45s %12s -> %12s ns  (%s%%)\n' \
       "$key" "$old_val" "$new_val" "$pct"
+    delta_row "$key" "$old_val" "$new_val" "$pct_json" ok
     ;;
   skip)
     printf 'skip       %-45s old value is zero\n' "$key"
+    delta_row "$key" "$old_val" "$new_val" 0 skipped
     ;;
   esac
 done < "$old_flat"
@@ -131,15 +148,28 @@ fi
 BUDGET="${OBS_RECORDING_BUDGET_NS:-1000}"
 rec=$(jq -r '.obs_ablation.recording_ns_per_packet // empty' "$NEW")
 if [ -n "$rec" ]; then
+  budget_pct=$(awk -v r="$rec" -v b="$BUDGET" 'BEGIN { printf "%.1f", (r - b) / b * 100.0 }')
   if [ "$(awk -v r="$rec" -v b="$BUDGET" 'BEGIN { print (r > b) ? 1 : 0 }')" = 1 ]; then
     printf 'BUDGET     %-45s %12s ns  (budget %s ns)
 '       "obs_ablation.recording_ns_per_packet" "$rec" "$BUDGET"
     echo "bench_compare: recording overhead exceeds OBS_RECORDING_BUDGET_NS=${BUDGET}" >&2
+    delta_row "budget.recording_ns_per_packet" "$BUDGET" "$rec" "$budget_pct" regressed
     status=1
   else
     printf 'budget ok  %-45s %12s ns  (budget %s ns)
 '       "obs_ablation.recording_ns_per_packet" "$rec" "$BUDGET"
+    delta_row "budget.recording_ns_per_packet" "$BUDGET" "$rec" "$budget_pct" ok
   fi
+fi
+
+# Machine-readable mirror of the table above, for `vwctl compare
+# --bench-delta` and any other tooling.
+if [ -n "$DELTA_OUT" ]; then
+  awk 'BEGIN { printf "{\"schema\":\"vw-bench-delta/1\",\"metrics\":[" }
+    { printf "%s{\"metric\":\"%s\",\"old\":%s,\"new\":%s,\"delta_pct\":%s,\"verdict\":\"%s\"}",
+        (NR > 1 ? "," : ""), $1, $2, $3, $4, $5 }
+    END { printf "]}\n" }' "$delta_rows" > "$DELTA_OUT"
+  echo "bench_compare: wrote $DELTA_OUT"
 fi
 if [ "$status" -ne 0 ]; then
   echo "bench_compare: regression(s) above ${THRESHOLD}% threshold" >&2

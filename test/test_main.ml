@@ -26,4 +26,5 @@ let () =
          Test_check.suite;
          Test_exec.suite;
          Test_golden.suite;
+         Test_intel.suite;
        ])
