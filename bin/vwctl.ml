@@ -33,6 +33,11 @@ module Host = Vw_stack.Host
 module Tcp = Vw_tcp.Tcp
 module Rether = Vw_rether.Rether
 
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -118,79 +123,21 @@ let parse_cmd =
 
 (* --- run --- *)
 
-type workload_kind = Udp_ping | Tcp_stream | Rether_ring | Idle
+(* workload kinds and the scripts' `# vwctl:` directives live in
+   Vw_conform.Workloads so `dune runtest` can replay the conformance
+   corpus with the same traffic the CLI drives *)
+module Workloads = Vw_conform.Workloads
 
 let workload_conv =
-  let parse = function
-    | "udp-ping" -> Ok Udp_ping
-    | "tcp-stream" -> Ok Tcp_stream
-    | "rether" -> Ok Rether_ring
-    | "idle" -> Ok Idle
-    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  let parse s =
+    match Workloads.kind_of_string s with
+    | Ok k -> Ok k
+    | Error e -> Error (`Msg e)
   in
-  let print ppf k =
-    Format.pp_print_string ppf
-      (match k with
-      | Udp_ping -> "udp-ping"
-      | Tcp_stream -> "tcp-stream"
-      | Rether_ring -> "rether"
-      | Idle -> "idle")
-  in
+  let print ppf k = Format.pp_print_string ppf (Workloads.kind_to_string k) in
   Arg.conv (parse, print)
 
-(* Built-in workloads so any two-node (or four-node) script can be driven
-   from the command line. They follow the paper's conventions: TCP flows
-   use ports 0x6000 -> 0x4000 between the first and last nodes of the node
-   table; UDP ping uses 0x1388 -> 0x1389. *)
-let make_workload kind ~bytes testbed =
-  let all = Testbed.nodes testbed in
-  let first = List.hd all in
-  let last = List.nth all (List.length all - 1) in
-  match kind with
-  | Idle -> ()
-  | Udp_ping ->
-      let engine = Testbed.engine testbed in
-      let a = Testbed.host first and b = Testbed.host last in
-      Host.udp_bind b ~port:0x1389 (fun ~src ~src_port payload ->
-          Host.udp_send b ~src_port:0x1389 ~dst:src ~dst_port:src_port payload);
-      Host.udp_bind a ~port:0x1388 (fun ~src:_ ~src_port:_ _ -> ());
-      let count = max 1 (bytes / 64) in
-      for i = 0 to count - 1 do
-        ignore
-          (Vw_sim.Engine.schedule_after engine
-             ~delay:(i * Vw_sim.Simtime.ms 5)
-             (fun () ->
-               Host.udp_send a ~src_port:0x1388 ~dst:(Host.ip b)
-                 ~dst_port:0x1389 (Bytes.create 64)))
-      done
-  | Tcp_stream ->
-      ignore
-        (Tcp.listen (Testbed.tcp last) ~port:0x4000 ~on_accept:(fun conn ->
-             Tcp.on_data conn (fun _ -> ())));
-      let conn =
-        Tcp.connect (Testbed.tcp first) ~src_port:0x6000
-          ~dst:(Host.ip (Testbed.host last))
-          ~dst_port:0x4000
-      in
-      Tcp.on_established conn (fun () -> Tcp.send conn (Bytes.create bytes))
-  | Rether_ring ->
-      let ring = List.map (fun n -> Host.mac (Testbed.host n)) all in
-      let config = Rether.default_config ~ring in
-      let rethers =
-        List.map (fun n -> Rether.install ~config (Testbed.host n)) all
-      in
-      (match rethers with r :: _ -> Rether.start r | [] -> ());
-      if List.length all >= 2 then begin
-        ignore
-          (Tcp.listen (Testbed.tcp last) ~port:0x4000 ~on_accept:(fun conn ->
-               Tcp.on_data conn (fun _ -> ())));
-        let conn =
-          Tcp.connect (Testbed.tcp first) ~src_port:0x6000
-            ~dst:(Host.ip (Testbed.host last))
-            ~dst_port:0x4000
-        in
-        Tcp.on_established conn (fun () -> Tcp.send conn (Bytes.create bytes))
-      end
+let make_workload = Workloads.make
 
 (* workload/run flags shared by run, explain, cover and report *)
 
@@ -200,7 +147,7 @@ let script_pos_arg =
 let workload_arg =
   Arg.(
     value
-    & opt workload_conv Tcp_stream
+    & opt workload_conv Workloads.Tcp_stream
     & info [ "w"; "workload" ] ~docv:"KIND"
         ~doc:
           "Traffic to drive through the testbed: $(b,tcp-stream), \
@@ -1034,59 +981,8 @@ let report_cmd =
 
 (* --- suite --- *)
 
-(* Per-script run directives, embedded as comments:
-     # vwctl: workload=udp-ping bytes=640 expect=fail duration=10
-   Unknown keys are rejected so typos do not silently change a test. *)
-let parse_directives src =
-  let defaults = (Tcp_stream, 1_000_000, `Pass, 60.0) in
-  let lines = String.split_on_char '\n' src in
-  List.fold_left
-    (fun acc line ->
-      match acc with
-      | Error _ -> acc
-      | Ok (workload, bytes, expect, duration) ->
-          let line = String.trim line in
-          let prefix = "# vwctl:" in
-          if
-            String.length line >= String.length prefix
-            && String.sub line 0 (String.length prefix) = prefix
-          then
-            let rest =
-              String.sub line (String.length prefix)
-                (String.length line - String.length prefix)
-            in
-            let kvs =
-              String.split_on_char ' ' rest
-              |> List.filter (fun s -> String.trim s <> "")
-            in
-            List.fold_left
-              (fun acc kv ->
-                match acc with
-                | Error _ -> acc
-                | Ok (workload, bytes, expect, duration) -> (
-                    match String.split_on_char '=' kv with
-                    | [ "workload"; v ] -> (
-                        match v with
-                        | "udp-ping" -> Ok (Udp_ping, bytes, expect, duration)
-                        | "tcp-stream" -> Ok (Tcp_stream, bytes, expect, duration)
-                        | "rether" -> Ok (Rether_ring, bytes, expect, duration)
-                        | "idle" -> Ok (Idle, bytes, expect, duration)
-                        | _ -> Error (Printf.sprintf "bad workload %S" v))
-                    | [ "bytes"; v ] -> (
-                        match int_of_string_opt v with
-                        | Some n -> Ok (workload, n, expect, duration)
-                        | None -> Error (Printf.sprintf "bad bytes %S" v))
-                    | [ "expect"; "pass" ] -> Ok (workload, bytes, `Pass, duration)
-                    | [ "expect"; "fail" ] -> Ok (workload, bytes, `Fail, duration)
-                    | [ "duration"; v ] -> (
-                        match float_of_string_opt v with
-                        | Some d -> Ok (workload, bytes, expect, d)
-                        | None -> Error (Printf.sprintf "bad duration %S" v))
-                    | _ -> Error (Printf.sprintf "bad directive %S" kv)))
-              (Ok (workload, bytes, expect, duration))
-              kvs
-          else acc)
-    (Ok defaults) lines
+let parse_directives = Workloads.parse_directives
+let directives_config = Workloads.directives_config
 
 (* suite outcomes -> Campaign entries (+ per-case coverage when observed) *)
 let suite_campaign ~with_cover (report : Vw_core.Suite.report) =
@@ -1167,12 +1063,13 @@ let suite_cmd =
             | Error e ->
                 Printf.eprintf "%s: %s\n" file e;
                 None
-            | Ok (workload, bytes, expect, duration) ->
+            | Ok d ->
                 Some
-                  (Vw_core.Suite.case ~name:file ~script:src
-                     ~max_duration:(Vw_sim.Simtime.sec duration)
-                     ~expect
-                     ~workload:(make_workload workload ~bytes)
+                  (Vw_core.Suite.case ?config:(directives_config d) ~name:file
+                     ~script:src
+                     ~max_duration:(Vw_sim.Simtime.sec d.d_duration)
+                     ~expect:d.d_expect
+                     ~workload:(make_workload d.d_workload ~bytes:d.d_bytes)
                      ()))
           files
       in
@@ -1258,6 +1155,254 @@ let suite_cmd =
           Scripts choose their workload with '# vwctl:' directive comments.")
     Term.(
       const run $ dir_arg $ stop_arg $ campaign_opts_term $ campaign_out_arg)
+
+(* --- conform: INJECT/EXPECT conformance suites (lib/conform) --- *)
+
+let conform_cmd =
+  let scripts_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Conformance scripts (.fsl with a CONFORM section) or \
+             directories of them; directories expand to their .fsl files \
+             in name order.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the vw-conform/1 summary to stdout as JSON; the human \
+             report moves to stderr.")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Write a self-contained HTML conformance report to $(docv): a \
+             verdict table per suite, failing expectations with their \
+             furthest-stage diagnosis.")
+  in
+  let run paths json html opts capacity verbose =
+    setup_logs verbose;
+    let capacity =
+      Option.value capacity ~default:Vw_conform.Driver.default_capacity
+    in
+    let expand p =
+      if Sys.file_exists p && Sys.is_directory p then
+        Sys.readdir p |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".fsl")
+        |> List.sort compare
+        |> List.map (Filename.concat p)
+      else [ p ]
+    in
+    let files = List.concat_map expand paths in
+    if files = [] then begin
+      Printf.eprintf "no .fsl scripts found\n";
+      1
+    end
+    else begin
+      (* load + parse directives up front: a broken invocation must exit 1
+         before any case runs *)
+      let loaded =
+        List.map
+          (fun path ->
+            match load_script path with
+            | Error e -> Error (path, e)
+            | Ok src -> (
+                match parse_directives src with
+                | Error e -> Error (path, e)
+                | Ok d -> Ok (Filename.basename path, src, d)))
+          files
+      in
+      let load_errors =
+        List.filter_map
+          (function Error (p, e) -> Some (p, e) | Ok _ -> None)
+          loaded
+      in
+      if load_errors <> [] then begin
+        List.iter
+          (fun (p, e) -> Printf.eprintf "%s: %s\n" p e)
+          load_errors;
+        1
+      end
+      else begin
+        let cases =
+          List.filter_map
+            (function Ok c -> Some c | Error _ -> None)
+            loaded
+        in
+        let base_seed =
+          match opts.seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
+        in
+        let job (name, src, d) =
+          Vw_exec.Job.v ~label:name (fun () ->
+              let config =
+                {
+                  (Option.value (directives_config d)
+                     ~default:Testbed.default_config)
+                  with
+                  seed = base_seed;
+                }
+              in
+              let r =
+                Vw_conform.Driver.run ~config
+                  ~max_duration:(Vw_sim.Simtime.sec d.d_duration)
+                  ~capacity
+                  ~workload:(make_workload d.d_workload ~bytes:d.d_bytes)
+                  ~name ~source:src ()
+              in
+              let verdict =
+                match r with
+                | Ok cr when Vw_conform.Driver.case_ok cr -> `Pass
+                | _ -> `Fail
+              in
+              Vw_exec.Job.result ~verdict r)
+        in
+        let outcomes =
+          Vw_exec.Executor.run ~jobs:opts.jobs ?chunk:opts.chunk
+            (Vw_exec.Plan.of_list (List.map job cases))
+        in
+        (* reduce in plan order: report cases, collect journal records —
+           identical output at every --jobs level *)
+        let results =
+          List.map
+            (fun (o : _ Vw_exec.Outcome.t) ->
+              let name = o.Vw_exec.Outcome.label in
+              match (o.Vw_exec.Outcome.verdict, o.Vw_exec.Outcome.payload) with
+              | Vw_exec.Outcome.Crash msg, _ ->
+                  (name, Error [ "worker crashed: " ^ msg ])
+              | _, Some r -> (name, r)
+              | _, None -> (name, Error [ "missing payload" ]))
+            outcomes
+        in
+        let report_cases =
+          List.map
+            (fun (name, r) ->
+              match r with
+              | Ok cr -> Vw_conform.Report.of_result cr
+              | Error errs ->
+                  {
+                    Vw_conform.Report.cs_name = name;
+                    cs_ok = false;
+                    cs_outcome = String.concat "; " errs;
+                    cs_truncated = false;
+                    cs_expects = [];
+                  })
+            results
+        in
+        List.iter
+          (fun c ->
+            if c.Vw_conform.Report.cs_truncated then
+              Printf.eprintf
+                "warning: %s: flight-recorder ring(s) wrapped; verdicts may \
+                 be unsound — raise --events-capacity (currently %d)\n\
+                 %!"
+                c.Vw_conform.Report.cs_name capacity)
+          report_cases;
+        (match opts.journal with
+        | None -> ()
+        | Some path -> (
+            let records =
+              List.concat
+                (List.mapi
+                   (fun i (name, r) ->
+                     match r with
+                     | Error errs ->
+                         [
+                           Vw_report.Journal.v ~run_seed:base_seed
+                             ~command:"conform" ~case:name ~index:i
+                             ~oracle:"conform_error" ~seed:base_seed
+                             ~detail:
+                               (first_line (String.concat "; " errs))
+                             ();
+                         ]
+                     | Ok cr ->
+                         let digest =
+                           Vw_report.Journal.digest_of_tables
+                             cr.Vw_conform.Driver.c_tables
+                         in
+                         List.filter_map
+                           (fun (c : Vw_conform.Eval.checked) ->
+                             if Vw_conform.Eval.ok c.Vw_conform.Eval.verdict
+                             then None
+                             else
+                               (* the oracle carries the expectation id, so
+                                  signatures cluster by which EXPECT failed,
+                                  never by timestamps in the diagnosis *)
+                               Some
+                                 (Vw_report.Journal.v ~run_seed:base_seed
+                                    ~tables_digest:digest ~command:"conform"
+                                    ~case:name ~index:i
+                                    ~oracle:
+                                      (Printf.sprintf "expect_%d"
+                                         c.Vw_conform.Eval.x
+                                           .Vw_fsl.Conform_ir.xid)
+                                    ~seed:base_seed
+                                    ~detail:
+                                      (Vw_conform.Eval.diagnosis
+                                         c.Vw_conform.Eval.verdict)
+                                    ()))
+                           cr.Vw_conform.Driver.c_checked)
+                   results)
+            in
+            match Vw_report.Journal.append path records with
+            | Ok () -> ()
+            | Error e -> Printf.eprintf "warning: journal %s: %s\n%!" path e));
+        let human =
+          if json then Format.err_formatter else Format.std_formatter
+        in
+        Format.fprintf human "%a" Vw_conform.Report.pp report_cases;
+        Format.pp_print_flush human ();
+        if json then print_string (Vw_conform.Report.summary_json report_cases);
+        (match html with
+        | Some path ->
+            write_text_file path
+              (Vw_report.Html_report.render_conform
+                 (List.map
+                    (fun c ->
+                      {
+                        Vw_report.Html_report.cc_name =
+                          c.Vw_conform.Report.cs_name;
+                        cc_ok = c.Vw_conform.Report.cs_ok;
+                        cc_outcome = c.Vw_conform.Report.cs_outcome;
+                        cc_expects =
+                          List.map
+                            (fun (x : Vw_conform.Report.xres) ->
+                              {
+                                Vw_report.Html_report.ce_label =
+                                  x.Vw_conform.Report.xr_label;
+                                ce_status = x.Vw_conform.Report.xr_status;
+                                ce_at_ms = x.Vw_conform.Report.xr_at_ms;
+                                ce_diagnosis =
+                                  x.Vw_conform.Report.xr_diagnosis;
+                              })
+                            c.Vw_conform.Report.cs_expects;
+                      })
+                    report_cases));
+            Printf.eprintf "wrote %s\n%!" path
+        | None -> ());
+        if Vw_conform.Report.ok report_cases then 0 else 2
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Run FSL conformance suites: scripts whose CONFORM section \
+          INJECTs frames at scripted sim-times and EXPECTs packets or \
+          node state within tolerances. Each script runs as a \
+          deterministic scenario; failed expectations carry a \
+          furthest-stage diagnosis (dropped by which rule, delivered \
+          outside the window, or never generated). Output is \
+          byte-identical at every --jobs level. Exit 2 when any \
+          expectation fails.")
+    Term.(
+      const run $ scripts_arg $ json_arg $ html_arg $ campaign_opts_term
+      $ events_capacity_arg $ verbose_arg)
 
 (* --- fuzz: the property-based scenario fuzzer (lib/check) --- *)
 
@@ -1408,11 +1553,6 @@ let fuzz_cmd =
       $ defect_arg $ replay_arg $ replay_dir_arg)
 
 (* --- triage / compare: campaign intelligence (lib/report) --- *)
-
-let write_text_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
 
 let triage_cmd =
   let journal_pos =
@@ -1709,6 +1849,7 @@ let () =
          a broken invocation from a failed check:";
       `Pre
         "  2  run/suite: a scenario or suite case failed\n\
+        \  2  conform: an EXPECT was missed (see its diagnosis)\n\
         \  2  fuzz: an oracle failure was found (or a reproducer still \
          fails)\n\
         \  2  triage --fail-on-recurring: a signature recurs\n\
@@ -1728,6 +1869,7 @@ let () =
             cover_cmd;
             report_cmd;
             suite_cmd;
+            conform_cmd;
             fuzz_cmd;
             triage_cmd;
             compare_cmd;

@@ -284,20 +284,6 @@ let generate ~seed =
            { Ast.condition; actions; rule_pos = pos })
   in
   let inactivity_timeout = if Prng.bool rng 0.15 then Some 0.25 else None in
-  let script =
-    {
-      Ast.vars;
-      filters;
-      nodes;
-      scenario =
-        {
-          Ast.scenario_name = Printf.sprintf "fz%d" (seed land 0xffffff);
-          inactivity_timeout;
-          counters;
-          rules;
-        };
-    }
-  in
   let n_sends = 3 + Prng.int rng 23 in
   let sends =
     List.init n_sends (fun _ ->
@@ -312,7 +298,90 @@ let generate ~seed =
         })
   in
   let sends = List.stable_sort compare sends in
-  { seed; script; kinds; sends; max_ms = 800 }
+  let max_ms = 800 in
+  (* Optional CONFORM section: expectations derived from the schedule just
+     generated (every sent packet should be seen at its destination within
+     the run), so fuzz cases carry assertion density for free. The windows
+     are generous — a failing EXPECT is interesting only through the
+     conformance/coverage consistency oracle, not as a verdict. *)
+  let conform =
+    if not (Prng.bool rng 0.5) then []
+    else begin
+      let send_arr = Array.of_list sends in
+      let n_expects = 1 + Prng.int rng (min 4 (Array.length send_arr)) in
+      let expects =
+        List.init n_expects (fun _ ->
+            let s = send_arr.(Prng.int rng (Array.length send_arr)) in
+            let x_at =
+              if Prng.bool rng 0.3 then
+                Some (float_of_int s.at_ms /. 1000.)
+              else None
+            in
+            Ast.Expect
+              {
+                x_target =
+                  Ast.Expect_packet
+                    {
+                      Ast.f_pkt = Printf.sprintf "pkt%d" s.kind;
+                      f_from = Printf.sprintf "n%d" s.src;
+                      f_to = Printf.sprintf "n%d" s.dst;
+                      f_dir = (if Prng.bool rng 0.8 then Ast.Recv else Ast.Send);
+                    };
+                x_at;
+                x_within = Some (float_of_int max_ms /. 1000.);
+                x_pos = pos;
+              })
+      in
+      let injects =
+        if not (Prng.bool rng 0.4) then []
+        else
+          let n = 1 + Prng.int rng 2 in
+          List.init n (fun _ ->
+              let a = Prng.int rng n_nodes in
+              let b = (a + 1 + Prng.int rng (n_nodes - 1)) mod n_nodes in
+              Ast.Inject
+                {
+                  i_pkt = Printf.sprintf "pkt%d" (Prng.int rng n_kinds);
+                  i_from = Printf.sprintf "n%d" a;
+                  i_to = Printf.sprintf "n%d" b;
+                  i_at = float_of_int (Prng.int rng 401) /. 1000.;
+                  i_pos = pos;
+                })
+      in
+      let state =
+        if Prng.bool rng 0.3 then
+          [
+            Ast.Expect
+              {
+                x_target =
+                  Ast.Expect_state
+                    { s_counter = "C0"; s_op = Ast.Ge; s_value = 0 };
+                x_at = None;
+                x_within = Some (float_of_int max_ms /. 1000.);
+                x_pos = pos;
+              };
+          ]
+        else []
+      in
+      injects @ expects @ state
+    end
+  in
+  let script =
+    {
+      Ast.vars;
+      filters;
+      nodes;
+      scenario =
+        {
+          Ast.scenario_name = Printf.sprintf "fz%d" (seed land 0xffffff);
+          inactivity_timeout;
+          counters;
+          rules;
+        };
+      conform;
+    }
+  in
+  { seed; script; kinds; sends; max_ms }
 
 let size c =
   let rules = List.length c.script.Ast.scenario.rules in

@@ -8,21 +8,30 @@ type defect =
   | Skip_index_bucket
   | Codec_drop_action
   | Events_drop_line
+  | Conform_zero_cover
 
 let defect_to_string = function
   | No_defect -> "none"
   | Skip_index_bucket -> "skip-index-bucket"
   | Codec_drop_action -> "codec-drop-action"
   | Events_drop_line -> "events-drop-line"
+  | Conform_zero_cover -> "conform-zero-cover"
 
 let defect_names =
-  [ "none"; "skip-index-bucket"; "codec-drop-action"; "events-drop-line" ]
+  [
+    "none";
+    "skip-index-bucket";
+    "codec-drop-action";
+    "events-drop-line";
+    "conform-zero-cover";
+  ]
 
 let defect_of_string = function
   | "none" -> Ok No_defect
   | "skip-index-bucket" -> Ok Skip_index_bucket
   | "codec-drop-action" -> Ok Codec_drop_action
   | "events-drop-line" -> Ok Events_drop_line
+  | "conform-zero-cover" -> Ok Conform_zero_cover
   | s ->
       Error
         (Printf.sprintf "unknown defect %S (expected one of: %s)" s
@@ -43,6 +52,7 @@ let oracle_names =
     "counter_consistency";
     "reports_recorded";
     "term_convergence";
+    "conform_coverage";
   ]
 
 let fail oracle fmt = Printf.ksprintf (fun detail -> Some { oracle; detail }) fmt
@@ -372,6 +382,63 @@ let check_terms (o : Runner.outcome) =
     !bad
   end
 
+(* --- conform_coverage --- *)
+
+(* Conformance and coverage are two views of the same event stream: a
+   packet EXPECT can only pass because a [Packet_classified] event of its
+   filter exists, and vw-cover/1 counts exactly those events — so every
+   passing packet EXPECT implies its filter's coverage count is positive.
+   The [Conform_zero_cover] defect erases the coverage side, the
+   self-check that a divergence between the two views is actually
+   caught. *)
+let check_conform ~defect (o : Runner.outcome) =
+  match o.Runner.o_case.Gen.script.Vw_fsl.Ast.conform with
+  | [] -> None
+  | stmts -> (
+      match Vw_fsl.Conform_ir.compile o.Runner.o_tables stmts with
+      | Error errs ->
+          fail "conform_coverage" "CONFORM section does not compile: %s"
+            (String.concat "; " errs)
+      | Ok ir ->
+          (* the runner's workload starts one jiffy after scenario start on
+             a fresh testbed, which is the anchor all windows measure from *)
+          let checked =
+            Vw_conform.Eval.run o.Runner.o_tables ~ir
+              ~anchor:(Vw_sim.Simtime.ms 10) ~events:o.Runner.o_events
+          in
+          let cover =
+            Vw_report.Coverage.analyze o.Runner.o_tables o.Runner.o_events
+          in
+          let matched fid =
+            match defect with
+            | Conform_zero_cover -> 0
+            | _ ->
+                List.fold_left
+                  (fun acc (f : Vw_report.Coverage.filter_cov) ->
+                    if f.Vw_report.Coverage.fid = fid then
+                      f.Vw_report.Coverage.matched
+                    else acc)
+                  0 cover.Vw_report.Coverage.filters
+          in
+          List.fold_left
+            (fun acc (c : Vw_conform.Eval.checked) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match
+                    ( c.Vw_conform.Eval.verdict,
+                      c.Vw_conform.Eval.x.Vw_fsl.Conform_ir.x_kind )
+                  with
+                  | ( Vw_conform.Eval.Pass _,
+                      Vw_fsl.Conform_ir.X_packet { xp_fid; _ } )
+                    when matched xp_fid = 0 ->
+                      fail "conform_coverage"
+                        "EXPECT %d passed but coverage says filter %d never \
+                         matched"
+                        c.Vw_conform.Eval.x.Vw_fsl.Conform_ir.xid xp_fid
+                  | _ -> None))
+            None checked)
+
 let check ~defect (o : Runner.outcome) =
   let ( <|> ) a b = match a with Some _ -> a | None -> b () in
   check_fixpoint o.Runner.o_case
@@ -381,3 +448,4 @@ let check ~defect (o : Runner.outcome) =
   <|> (fun () -> check_counters o)
   <|> (fun () -> check_reports o)
   <|> (fun () -> check_terms o)
+  <|> (fun () -> check_conform ~defect o)

@@ -20,7 +20,11 @@
       report within the time limit, and every scenario error has a matching
       [Report_raised];
     - [term_convergence]: after the drain, every live subscriber's view of
-      a term equals its live owner's.
+      a term equals its live owner's;
+    - [conform_coverage]: every passing packet EXPECT of the case's
+      CONFORM section implies its filter's [vw-cover/1] match count is
+      positive — conformance verdicts and coverage are two views of one
+      event stream and must agree.
 
     A {!defect} deliberately sabotages one oracle's subject — the fuzzer's
     self-check that a broken invariant is actually caught and shrunk. *)
@@ -31,6 +35,9 @@ type defect =
       (** classify as if the index forgot the matching bucket *)
   | Codec_drop_action  (** decoded tables lose their last action *)
   | Events_drop_line  (** one event line vanishes before reload *)
+  | Conform_zero_cover
+      (** coverage forgets every filter match before the conformance
+          cross-check *)
 
 val defect_of_string : string -> (defect, string) result
 val defect_to_string : defect -> string

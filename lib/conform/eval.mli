@@ -1,0 +1,44 @@
+(** Expectation matching: score a compiled [CONFORM] section against a
+    run's flight-recorder event stream.
+
+    The evaluation is offline and pure, like {!Vw_report.Coverage}: it
+    takes the compiled tables, the conform IR, the anchor (the absolute
+    sim-time the workload started, which all conform times are relative
+    to) and the merged event list.
+
+    A packet expectation matches a [Packet_classified] event of its filter
+    at the observing endpoint — the [f_from] node's egress for [SEND], the
+    [f_to] node's ingress for [RECV]. A classification only counts as a
+    delivery if no [DROP] fault was applied in its causal context; [DELAY]
+    faults applied in-context shift the delivery time by the scripted
+    delay (the engine re-injects delayed frames past the classifier, so
+    the classification timestamp alone would hide the delay).
+
+    When an expectation fails, the diagnosis names the furthest stage the
+    packet (or counter) reached, in [Vw_core.Explain]'s vocabulary: never
+    generated, seen elsewhere but never at the observing endpoint, dropped
+    by a named rule, or delivered outside the window. *)
+
+type verdict =
+  | Pass of { at : Vw_sim.Simtime.t }  (** relative to the anchor *)
+  | Tolerance_miss of { actual : Vw_sim.Simtime.t; diagnosis : string }
+      (** matched, but outside the window *)
+  | Missed of { diagnosis : string }  (** never matched at all *)
+
+type checked = { x : Vw_fsl.Conform_ir.expectation; verdict : verdict }
+
+val ok : verdict -> bool
+val status_name : verdict -> string
+(** ["pass"], ["tolerance_miss"], ["missed"] — the [vw-conform/1]
+    status identifiers. *)
+
+val diagnosis : verdict -> string
+(** The failure diagnosis; [""] for [Pass]. *)
+
+val run :
+  Vw_fsl.Tables.t ->
+  ir:Vw_fsl.Conform_ir.t ->
+  anchor:Vw_sim.Simtime.t ->
+  events:Vw_obs.Event.t list ->
+  checked list
+(** One verdict per expectation, in [xid] order. *)

@@ -1,0 +1,131 @@
+type xres = {
+  xr_xid : int;
+  xr_label : string;
+  xr_status : string;
+  xr_at_ms : float option;
+  xr_diagnosis : string;
+}
+
+type case = {
+  cs_name : string;
+  cs_ok : bool;
+  cs_outcome : string;
+  cs_truncated : bool;
+  cs_expects : xres list;
+}
+
+let of_checked (c : Eval.checked) =
+  let at_ms =
+    match c.Eval.verdict with
+    | Eval.Pass { at } -> Some (Vw_sim.Simtime.to_ms at)
+    | Eval.Tolerance_miss { actual; _ } -> Some (Vw_sim.Simtime.to_ms actual)
+    | Eval.Missed _ -> None
+  in
+  {
+    xr_xid = c.Eval.x.Vw_fsl.Conform_ir.xid;
+    xr_label = c.Eval.x.Vw_fsl.Conform_ir.x_label;
+    xr_status = Eval.status_name c.Eval.verdict;
+    xr_at_ms = at_ms;
+    xr_diagnosis = Eval.diagnosis c.Eval.verdict;
+  }
+
+let of_result (r : Driver.case_result) =
+  {
+    cs_name = r.Driver.c_name;
+    cs_ok = Driver.case_ok r;
+    cs_outcome =
+      Vw_core.Scenario.outcome_to_string r.Driver.c_scenario.Vw_core.Scenario.outcome;
+    cs_truncated = r.Driver.c_truncated > 0;
+    cs_expects = List.map of_checked r.Driver.c_checked;
+  }
+
+let ok cases = List.for_all (fun c -> c.cs_ok) cases
+
+let counts cases =
+  List.fold_left
+    (fun (p, f) c ->
+      List.fold_left
+        (fun (p, f) x ->
+          if x.xr_status = "pass" then (p + 1, f) else (p, f + 1))
+        (p, f) c.cs_expects)
+    (0, 0) cases
+
+(* --- JSON (schema "vw-conform/1") --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let summary_json cases =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let passed, failed = counts cases in
+  add "{\n";
+  add "  \"schema\": \"vw-conform/1\",\n";
+  add "  \"command\": \"conform\",\n";
+  add "  \"cases\": %d,\n" (List.length cases);
+  add "  \"expectations\": %d,\n" (passed + failed);
+  add "  \"passed\": %d,\n" passed;
+  add "  \"failed\": %d,\n" failed;
+  add "  \"ok\": %b,\n" (ok cases);
+  add "  \"results\": [";
+  List.iteri
+    (fun i c ->
+      add "%s    {\n" (if i = 0 then "\n" else ",\n");
+      add "      \"case\": \"%s\",\n" (json_escape c.cs_name);
+      add "      \"ok\": %b,\n" c.cs_ok;
+      add "      \"outcome\": \"%s\",\n" (json_escape c.cs_outcome);
+      add "      \"truncated\": %b,\n" c.cs_truncated;
+      add "      \"expects\": [";
+      List.iteri
+        (fun j x ->
+          add "%s        {\n" (if j = 0 then "\n" else ",\n");
+          add "          \"xid\": %d,\n" x.xr_xid;
+          add "          \"label\": \"%s\",\n" (json_escape x.xr_label);
+          add "          \"status\": \"%s\",\n" (json_escape x.xr_status);
+          (match x.xr_at_ms with
+          | Some ms -> add "          \"at_ms\": %g,\n" ms
+          | None -> ());
+          add "          \"diagnosis\": \"%s\"\n" (json_escape x.xr_diagnosis);
+          add "        }")
+        c.cs_expects;
+      add "%s]\n" (if c.cs_expects = [] then "" else "\n      ");
+      add "    }")
+    cases;
+  add "%s]\n" (if cases = [] then "" else "\n  ");
+  add "}\n";
+  Buffer.contents b
+
+(* --- console --- *)
+
+let pp_case ppf c =
+  Format.fprintf ppf "%-40s %s  (%s%s)@." c.cs_name
+    (if c.cs_ok then "PASS" else "FAIL")
+    c.cs_outcome
+    (if c.cs_truncated then ", ring truncated" else "");
+  List.iter
+    (fun x ->
+      match (x.xr_status, x.xr_at_ms) with
+      | "pass", Some ms ->
+          Format.fprintf ppf "  ok   #%d %s  (at %gms)@." x.xr_xid x.xr_label
+            ms
+      | _ ->
+          Format.fprintf ppf "  FAIL #%d %s@.       %s@." x.xr_xid x.xr_label
+            x.xr_diagnosis)
+    c.cs_expects
+
+let pp ppf cases =
+  List.iter (pp_case ppf) cases;
+  let passed, failed = counts cases in
+  Format.fprintf ppf "%d/%d case(s) conform; %d expectation(s), %d failed@."
+    (List.length (List.filter (fun c -> c.cs_ok) cases))
+    (List.length cases) (passed + failed) failed

@@ -91,7 +91,7 @@ let relevant deps (e : Ev.t) =
       | Ev.C_term_status { tid; _ } -> List.mem tid deps.tids
       | _ -> false)
   | Ev.Packet_classified { fid; _ } -> List.mem fid deps.fids
-  | Ev.Report_raised _ -> false
+  | Ev.Report_raised _ | Ev.Expect_checked _ -> false
 
 (* events of [root]'s causal context up to [target], relevant ones only *)
 let segment t deps ~(root : Ev.t) ~(target : Ev.t) =
@@ -219,6 +219,9 @@ let pp_body_named tables ppf (b : Ev.body) =
       | None -> Format.fprintf ppf "STOP reported by %s" (node_name tables nid)
       | Some r ->
           Format.fprintf ppf "rule %d flagged by %s" r (node_name tables nid))
+  | Ev.Expect_checked { xid; ok } ->
+      Format.fprintf ppf "expectation %d %s" xid
+        (if ok then "passed" else "failed")
 
 let pp_event tables ppf (e : Ev.t) =
   Format.fprintf ppf "#%-5d %a  [%s]  %a" e.seq Vw_sim.Simtime.pp e.time e.node

@@ -42,12 +42,22 @@ let run_case ?(observe = false) c =
   | Error e -> (Error e, None, [])
   | Ok tables ->
       let testbed = Testbed.of_node_table ?config:c.c_config tables in
-      if observe then Testbed.enable_observability testbed;
+      (* suite observers consume the whole event history (per-case coverage,
+         journals), so use the analysis ring size: the default 16384 can
+         wrap on long cases and silently amputate the coverage *)
+      if observe then Testbed.enable_observability ~capacity:65536 testbed;
       let result =
         Scenario.run testbed ~script:c.c_script
           ~max_duration:c.c_max_duration ~workload:c.c_workload
       in
       let events = if observe then Testbed.events testbed else [] in
+      if observe && Testbed.events_truncated testbed > 0 then
+        Printf.eprintf
+          "warning: %s: flight-recorder ring(s) wrapped (%d events dropped); \
+           per-case coverage may be incomplete\n\
+           %!"
+          c.c_name
+          (Testbed.events_dropped testbed);
       (result, Some tables, events)
 
 let outcome_of_case ?observe c =

@@ -85,6 +85,30 @@ type action =
 
 type rule = { condition : cond; actions : action list; rule_pos : position }
 
+(* Conformance statements (CONFORM ... END, after the scenario): stimulus
+   injected at precise sim-times and expectations checked against the run's
+   event stream. Times are seconds relative to workload start, like the
+   other duration fields. *)
+
+type expect_target =
+  | Expect_packet of fault_spec
+  | Expect_state of { s_counter : string; s_op : relop; s_value : int }
+
+type conform_stmt =
+  | Inject of {
+      i_pkt : string;  (** filter whose literal tuples shape the frame *)
+      i_from : string;
+      i_to : string;
+      i_at : float;
+      i_pos : position;
+    }
+  | Expect of {
+      x_target : expect_target;
+      x_at : float option;
+      x_within : float option;
+      x_pos : position;
+    }
+
 type scenario = {
   scenario_name : string;
   inactivity_timeout : float option;
@@ -97,6 +121,7 @@ type script = {
   filters : filter_def list;
   nodes : node_def list;
   scenario : scenario;
+  conform : conform_stmt list;
 }
 
 let direction_to_string = function Send -> "SEND" | Recv -> "RECV"
@@ -150,6 +175,23 @@ let pp_action ppf = function
   | Stop -> Format.pp_print_string ppf "STOP"
   | Flag_error -> Format.pp_print_string ppf "FLAG_ERROR"
   | Bind_var (v, value) -> Format.fprintf ppf "BIND_VAR( %s, %s )" v value
+
+let pp_conform_stmt ppf = function
+  | Inject { i_pkt; i_from; i_to; i_at; _ } ->
+      Format.fprintf ppf "INJECT %s, %s, %s AT %gms" i_pkt i_from i_to
+        (i_at *. 1000.)
+  | Expect { x_target; x_at; x_within; _ } ->
+      (match x_target with
+      | Expect_packet f -> Format.fprintf ppf "EXPECT %a" pp_fault_spec f
+      | Expect_state { s_counter; s_op; s_value } ->
+          Format.fprintf ppf "EXPECT STATE %s %s %d" s_counter
+            (relop_to_string s_op) s_value);
+      (match x_at with
+      | Some t -> Format.fprintf ppf " AT %gms" (t *. 1000.)
+      | None -> ());
+      (match x_within with
+      | Some t -> Format.fprintf ppf " WITHIN %gms" (t *. 1000.)
+      | None -> ())
 
 (* --- whole-script printer --- *)
 
@@ -221,6 +263,18 @@ let pp_script ppf (s : script) =
       nl ())
     s.scenario.rules;
   Format.pp_print_string ppf "END";
-  nl ()
+  nl ();
+  match s.conform with
+  | [] -> ()
+  | stmts ->
+      Format.pp_print_string ppf "CONFORM";
+      nl ();
+      List.iter
+        (fun stmt ->
+          pp_conform_stmt ppf stmt;
+          nl ())
+        stmts;
+      Format.pp_print_string ppf "END";
+      nl ()
 
 let script_to_string s = Format.asprintf "%a" pp_script s

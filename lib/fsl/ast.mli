@@ -105,6 +105,33 @@ type action =
 
 type rule = { condition : cond; actions : action list; rule_pos : position }
 
+(** Conformance statements — the optional [CONFORM ... END] section after
+    the scenario. [INJECT] materializes a frame from the named filter's
+    literal tuples and sends it at a precise sim-time; [EXPECT] asserts
+    that a packet is seen (or a counter predicate holds) within a time
+    window. All times are seconds relative to workload start. *)
+
+type expect_target =
+  | Expect_packet of fault_spec
+      (** the packet must be observed — at [f_from]'s egress for [SEND],
+          [f_to]'s ingress for [RECV] *)
+  | Expect_state of { s_counter : string; s_op : relop; s_value : int }
+
+type conform_stmt =
+  | Inject of {
+      i_pkt : string;  (** filter whose literal tuples shape the frame *)
+      i_from : string;
+      i_to : string;
+      i_at : float;  (** seconds *)
+      i_pos : position;
+    }
+  | Expect of {
+      x_target : expect_target;
+      x_at : float option;  (** seconds; the window center (or floor) *)
+      x_within : float option;  (** seconds; the tolerance *)
+      x_pos : position;
+    }
+
 type scenario = {
   scenario_name : string;
   inactivity_timeout : float option;  (** seconds *)
@@ -117,12 +144,14 @@ type script = {
   filters : filter_def list;
   nodes : node_def list;
   scenario : scenario;
+  conform : conform_stmt list;  (** empty when the section is absent *)
 }
 
 val direction_to_string : direction -> string
 val relop_to_string : relop -> string
 val pp_cond : Format.formatter -> cond -> unit
 val pp_action : Format.formatter -> action -> unit
+val pp_conform_stmt : Format.formatter -> conform_stmt -> unit
 
 val pp_script : Format.formatter -> script -> unit
 (** Renders a script back to concrete FSL syntax. Printing then parsing is

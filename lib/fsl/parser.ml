@@ -487,16 +487,81 @@ let parse_scenario st =
   let rules = rules [] in
   { Ast.scenario_name; inactivity_timeout; counters; rules }
 
+(* --- CONFORM section --- *)
+
+let parse_conform_stmt st =
+  let stmt_pos = (peek st).pos in
+  match peek_token st with
+  | IDENT "INJECT" ->
+      advance st;
+      let i_pkt = ident st in
+      expect st COMMA;
+      let i_from = ident st in
+      expect st COMMA;
+      let i_to = ident st in
+      keyword st "AT";
+      let i_at = parse_duration_arg st in
+      if peek_token st = SEMI then advance st;
+      Ast.Inject { i_pkt; i_from; i_to; i_at; i_pos = stmt_pos }
+  | IDENT "EXPECT" ->
+      advance st;
+      let x_target =
+        if is_keyword st "STATE" then begin
+          advance st;
+          let s_counter = ident st in
+          let s_op = parse_relop st in
+          let s_value = decimal st in
+          Ast.Expect_state { s_counter; s_op; s_value }
+        end
+        else Ast.Expect_packet (parse_fault_spec st)
+      in
+      let x_at =
+        if is_keyword st "AT" then begin
+          advance st;
+          Some (parse_duration_arg st)
+        end
+        else None
+      in
+      let x_within =
+        if is_keyword st "WITHIN" then begin
+          advance st;
+          Some (parse_duration_arg st)
+        end
+        else None
+      in
+      if peek_token st = SEMI then advance st;
+      Ast.Expect { x_target; x_at; x_within; x_pos = stmt_pos }
+  | other ->
+      fail st
+        (Printf.sprintf "expected INJECT or EXPECT, found %s"
+           (token_to_string other))
+
+let parse_conform st =
+  if is_keyword st "CONFORM" then begin
+    advance st;
+    let rec stmts acc =
+      if is_keyword st "END" then begin
+        advance st;
+        List.rev acc
+      end
+      else if peek_token st = EOF then List.rev acc
+      else stmts (parse_conform_stmt st :: acc)
+    in
+    stmts []
+  end
+  else []
+
 let parse_script st =
   let vars = parse_vars st in
   let filters = if is_keyword st "FILTER_TABLE" then parse_filters st vars else [] in
   let nodes = if is_keyword st "NODE_TABLE" then parse_nodes st else [] in
   let scenario = parse_scenario st in
+  let conform = parse_conform st in
   (match peek_token st with
   | EOF -> ()
   | other ->
       fail st (Printf.sprintf "trailing input after END: %s" (token_to_string other)));
-  { Ast.vars; filters; nodes; scenario }
+  { Ast.vars; filters; nodes; scenario; conform }
 
 let parse_exn src =
   match Lexer.tokenize src with

@@ -12,7 +12,7 @@
       8   i64  time   simulation time, ns
      16   u48  cause  seq of the causal root
      22   i16  nid    node-table id (-1 before INIT)
-     24    u8  kind   Event.kind_code (0..8)
+     24    u8  kind   Event.kind_code (0..9)
      25    u8  aux    enum byte (point/status/fault/ctl tag/rule flag)
      26   i32  a      primary id
      30   i64  b      payload

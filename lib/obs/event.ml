@@ -20,6 +20,7 @@ type body =
   | Control_sent of { dst_nid : int; ctl : ctl }
   | Control_received of { ctl : ctl }
   | Report_raised of { nid : int; rule : int option }
+  | Expect_checked of { xid : int; ok : bool }
 
 type t = {
   seq : int;
@@ -40,6 +41,7 @@ let kind_name = function
   | Control_sent _ -> "control_sent"
   | Control_received _ -> "control_received"
   | Report_raised _ -> "report_raised"
+  | Expect_checked _ -> "expect_checked"
 
 let all_kind_names =
   [
@@ -52,6 +54,7 @@ let all_kind_names =
     "control_sent";
     "control_received";
     "report_raised";
+    "expect_checked";
   ]
 
 let point_name = function Ingress -> "ingress" | Egress -> "egress"
@@ -96,6 +99,7 @@ let kind_code = function
   | Control_sent _ -> 6
   | Control_received _ -> 7
   | Report_raised _ -> 8
+  | Expect_checked _ -> 9
 
 let fault_code = function
   | Drop -> 0
@@ -141,6 +145,7 @@ let to_fields = function
       (7, tag, 0, b, c)
   | Report_raised { nid; rule = None } -> (8, 0, nid, 0, 0)
   | Report_raised { nid; rule = Some r } -> (8, 1, nid, r, 0)
+  | Expect_checked { xid; ok } -> (9, (if ok then 1 else 0), xid, 0, 0)
 
 let of_fields ~kind ~aux ~a ~b ~c =
   let bad what v = Error (Printf.sprintf "%s %d out of range" what v) in
@@ -180,6 +185,9 @@ let of_fields ~kind ~aux ~a ~b ~c =
       | 0 -> Ok (Report_raised { nid = a; rule = None })
       | 1 -> Ok (Report_raised { nid = a; rule = Some b })
       | _ -> bad "rule-present flag" aux)
+  | 9 ->
+      if aux = 0 || aux = 1 then Ok (Expect_checked { xid = a; ok = aux = 1 })
+      else bad "expect-ok flag" aux
   | n -> bad "event kind" n
 
 (* --- JSONL serialization (schema "vw-events/1") ---
@@ -250,7 +258,9 @@ let to_json e =
       Buffer.add_string b (Printf.sprintf ",\"report_nid\":%d" nid);
       match rule with
       | Some r -> Buffer.add_string b (Printf.sprintf ",\"rule\":%d" r)
-      | None -> ()));
+      | None -> ())
+  | Expect_checked { xid; ok } ->
+      Buffer.add_string b (Printf.sprintf ",\"xid\":%d,\"ok\":%b" xid ok));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -278,6 +288,9 @@ let pp_body ppf = function
       match rule with
       | Some r -> Format.fprintf ppf "FLAG_ERROR report (n%d, rule %d)" nid r
       | None -> Format.fprintf ppf "STOP report (n%d)" nid)
+  | Expect_checked { xid; ok } ->
+      Format.fprintf ppf "expectation %d %s" xid
+        (if ok then "passed" else "failed")
 
 let pp ppf e =
   Format.fprintf ppf "#%-5d %a %-8s %a" e.seq Vw_sim.Simtime.pp e.time e.node

@@ -39,6 +39,9 @@ type body =
   | Control_received of { ctl : ctl }
   | Report_raised of { nid : int; rule : int option }
       (** [rule = None] for STOP, [Some r] for FLAG_ERROR on rule [r] *)
+  | Expect_checked of { xid : int; ok : bool }
+      (** verdict of conformance expectation [xid] (CONFORM section),
+          appended after the run by [vwctl conform] *)
 
 type t = {
   seq : int;  (** run-global sequence number, dense and monotonic *)
@@ -51,7 +54,7 @@ type t = {
 
 val kind_name : body -> string
 val all_kind_names : string list
-(** The nine kind tags, in pipeline order. *)
+(** The ten kind tags, in pipeline order. *)
 
 val point_name : point -> string
 val fault_name : fault_kind -> string
@@ -62,7 +65,7 @@ val ctl_equal : ctl -> ctl -> bool
     that produced it. *)
 
 val kind_code : body -> int
-(** The [vw-events/2] kind byte, 0..8 in [all_kind_names] order. *)
+(** The [vw-events/2] kind byte, 0..9 in [all_kind_names] order. *)
 
 val ctl_to_fields : ctl -> int * int * int
 (** Flatten a control payload to [(tag, b, c)] for the binary slot

@@ -90,6 +90,10 @@ let parse_body j =
       let* nid = int_field "report_nid" j in
       let rule = Option.bind (Json.mem "rule" j) Json.to_int in
       Ok (Ev.Report_raised { nid; rule })
+  | "expect_checked" ->
+      let* xid = int_field "xid" j in
+      let* ok = bool_field "ok" j in
+      Ok (Ev.Expect_checked { xid; ok })
   | s -> Error (Printf.sprintf "unknown kind %S" s)
 
 let parse_event j =

@@ -19,6 +19,30 @@ val render :
     [metrics] adds the histogram section; [title] defaults to the
     scenario name from [tables]. *)
 
+(** {1 Conformance}
+
+    The [vwctl conform --html] section takes plain strings, so the report
+    library stays independent of the conformance driver (dependencies
+    point conform → report's consumers, never the other way). *)
+
+type conform_expect = {
+  ce_label : string;  (** the EXPECT statement, pretty-printed *)
+  ce_status : string;  (** ["pass"] | ["tolerance_miss"] | ["missed"] *)
+  ce_at_ms : float option;  (** match time relative to the anchor *)
+  ce_diagnosis : string;  (** [""] on pass *)
+}
+
+type conform_case = {
+  cc_name : string;
+  cc_ok : bool;
+  cc_outcome : string;
+  cc_expects : conform_expect list;
+}
+
+val render_conform : ?title:string -> conform_case list -> string
+(** One self-contained HTML page: a verdict table per conformance suite,
+    failing expectations carrying their furthest-stage diagnosis. *)
+
 val render_fleet :
   ?title:string ->
   ?journal:Journal.record list ->

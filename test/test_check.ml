@@ -154,6 +154,25 @@ let fuzz_self_check () =
       | Ok _ -> ()
       | Error e -> Alcotest.failf "minimized case does not replay: %s" e
 
+let fuzz_conform_self_check () =
+  (* the conform<->coverage cross-oracle catches a sabotaged coverage side:
+     zeroing every filter's match count must contradict any passing packet
+     EXPECT (seed 42 trips it on the very first case) *)
+  let cfg =
+    {
+      Fuzz.default_config with
+      runs = 100;
+      seed = 42;
+      defect = Oracles.Conform_zero_cover;
+      progress_every = 0;
+    }
+  in
+  match (Fuzz.execute ~ppf:null_ppf cfg).Fuzz.found with
+  | None -> Alcotest.fail "injected conform-coverage defect not caught"
+  | Some f ->
+      check Alcotest.string "caught by the conform oracle" "conform_coverage"
+        f.Fuzz.failure.Oracles.oracle
+
 let fuzz_deterministic () =
   let campaign () =
     let b = Buffer.create 1024 in
@@ -186,6 +205,8 @@ let suite =
         Alcotest.test_case "clean campaign raises no failure" `Quick fuzz_clean;
         Alcotest.test_case "self-check: injected defect caught and shrunk"
           `Quick fuzz_self_check;
+        Alcotest.test_case "self-check: conform/coverage cross-oracle" `Quick
+          fuzz_conform_self_check;
         Alcotest.test_case "campaign output deterministic" `Quick
           fuzz_deterministic;
         Alcotest.test_case "defect names round-trip" `Quick defect_names_parse;

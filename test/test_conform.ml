@@ -1,0 +1,179 @@
+(* Conformance layer: replay the committed corpus under test/conformance/
+   through Vw_conform.Driver (the same path `vwctl conform` takes), check
+   the deliberately-failing variant produces a "dropped" diagnosis, and
+   property-check the CONFORM section of generated scripts round-trips
+   through the printer. *)
+
+open Alcotest
+module Driver = Vw_conform.Driver
+module Eval = Vw_conform.Eval
+module Report = Vw_conform.Report
+module Workloads = Vw_conform.Workloads
+module Fgen = Vw_check.Gen
+module Ast = Vw_fsl.Ast
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* run one corpus script exactly as `vwctl conform` would: directives
+   pick the workload/duration/arp config, the driver does the rest *)
+let run_corpus_case path =
+  let source = read_file path in
+  match Workloads.parse_directives source with
+  | Error e -> failf "%s: bad directives: %s" path e
+  | Ok d ->
+      let config =
+        Option.value
+          (Workloads.directives_config d)
+          ~default:Vw_core.Testbed.default_config
+      in
+      let workload = Workloads.make d.Workloads.d_workload ~bytes:d.d_bytes in
+      let max_duration = Vw_sim.Simtime.sec d.d_duration in
+      Driver.run ~config ~max_duration ~workload ~name:(Filename.basename path)
+        ~source ()
+
+let corpus_files () =
+  Sys.readdir "conformance" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".fsl")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat "conformance" f)
+
+let failed_diagnoses r =
+  List.filter_map
+    (fun (c : Eval.checked) ->
+      if Eval.ok c.Eval.verdict then None
+      else Some (Eval.diagnosis c.Eval.verdict))
+    r.Driver.c_checked
+
+(* --- the committed corpus passes, file by file --- *)
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  check bool "corpus holds the four protocol suites and more" true
+    (List.length files >= 4);
+  List.iter
+    (fun path ->
+      match run_corpus_case path with
+      | Error errs -> failf "%s: %s" path (String.concat "; " errs)
+      | Ok r ->
+          check int
+            (Printf.sprintf "%s: no ring truncation" path)
+            0 r.Driver.c_truncated;
+          if not (Driver.case_ok r) then
+            failf "%s: expectations failed:\n%s" path
+              (String.concat "\n" (failed_diagnoses r)))
+    files
+
+(* --- the deliberate SYN-ACK drop is missed with a named-rule diagnosis --- *)
+
+let test_synack_drop_diagnosed () =
+  match run_corpus_case "conformance/failing/tcp_handshake_synack_drop.fsl" with
+  | Error errs -> failf "driver error: %s" (String.concat "; " errs)
+  | Ok r -> (
+      check bool "case fails" false (Driver.case_ok r);
+      match r.Driver.c_checked with
+      | [ { Eval.verdict = Eval.Missed { diagnosis }; _ } ] ->
+          let contains needle =
+            let nl = String.length needle and hl = String.length diagnosis in
+            let rec go i =
+              i + nl <= hl
+              && (String.sub diagnosis i nl = needle || go (i + 1))
+            in
+            go 0
+          in
+          check bool "diagnosis names the furthest stage" true
+            (contains "furthest stage: dropped");
+          check bool "diagnosis names the dropped packet" true
+            (contains "TCP_synack");
+          check bool "diagnosis names the DROP rule" true (contains "rule")
+      | [ c ] ->
+          failf "expected a missed verdict, got %s"
+            (Eval.status_name c.Eval.verdict)
+      | l -> failf "expected one expectation, got %d" (List.length l))
+
+(* --- verdicts and the vw-conform/1 summary are deterministic --- *)
+
+let test_replay_deterministic () =
+  let once () =
+    match run_corpus_case "conformance/inject_probe.fsl" with
+    | Error errs -> failf "driver error: %s" (String.concat "; " errs)
+    | Ok r -> Report.summary_json [ Report.of_result r ]
+  in
+  check string "two runs render identical vw-conform/1 JSON" (once ()) (once ())
+
+(* --- every stamped Expect_checked agrees with its verdict --- *)
+
+let test_expect_checked_stamps () =
+  match run_corpus_case "conformance/inject_probe.fsl" with
+  | Error errs -> failf "driver error: %s" (String.concat "; " errs)
+  | Ok r ->
+      let stamps =
+        List.filter_map
+          (fun (e : Vw_obs.Event.t) ->
+            match e.Vw_obs.Event.body with
+            | Vw_obs.Event.Expect_checked { xid; ok } -> Some (xid, ok)
+            | _ -> None)
+          r.Driver.c_events
+        |> List.sort compare
+      in
+      let expected =
+        List.mapi (fun i (c : Eval.checked) -> (i, Eval.ok c.Eval.verdict))
+          r.Driver.c_checked
+      in
+      check (list (pair int bool)) "one stamp per expectation" expected stamps
+
+(* --- qcheck: CONFORM survives the print->parse round-trip --- *)
+
+let seed_gen = QCheck.(int_bound 1_000_000)
+
+let prop_conform_fixpoint =
+  QCheck.Test.make ~name:"generated CONFORM sections print/parse fixpoint"
+    ~count:80 seed_gen (fun seed ->
+      let case = Fgen.generate ~seed in
+      let printed = Ast.script_to_string case.Fgen.script in
+      match Vw_fsl.Parser.parse printed with
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+      | Ok script' ->
+          (* compare the statements' printed forms: source positions (and
+             float spellings) legitimately differ between the generated
+             AST and the re-parsed one *)
+          let render l =
+            List.map (Format.asprintf "%a" Ast.pp_conform_stmt) l
+          in
+          if render script'.Ast.conform <> render case.Fgen.script.Ast.conform
+          then
+            QCheck.Test.fail_reportf
+              "CONFORM section changed across print/parse:\n%s" printed;
+          true)
+
+(* the property above must not be vacuous: generation emits CONFORM
+   sections often enough to exercise the inject/expect printer *)
+let test_generator_emits_conform () =
+  let with_conform = ref 0 in
+  for seed = 0 to 199 do
+    if (Fgen.generate ~seed).Fgen.script.Ast.conform <> [] then
+      incr with_conform
+  done;
+  if !with_conform < 40 then
+    failf "only %d/200 generated scripts had a CONFORM section" !with_conform
+
+let suite =
+  [
+    ( "conform",
+      [
+        test_case "corpus: committed suites all conform" `Slow
+          test_corpus_replay;
+        test_case "SYN-ACK drop is missed and diagnosed" `Quick
+          test_synack_drop_diagnosed;
+        test_case "replay is deterministic" `Quick test_replay_deterministic;
+        test_case "Expect_checked stamps mirror verdicts" `Quick
+          test_expect_checked_stamps;
+        Test_seed.qtest prop_conform_fixpoint;
+        test_case "generator emits CONFORM sections" `Quick
+          test_generator_emits_conform;
+      ] );
+  ]

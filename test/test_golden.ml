@@ -32,9 +32,10 @@ let normalize s =
   |> List.filter (fun l -> l <> "")
   |> List.sort compare
 
-let check_golden ~golden ~args () =
+let check_golden ?(expect_rc = 0) ~golden ~args () =
   let rc, actual = run_cmd args in
-  if rc <> 0 then Alcotest.failf "vwctl %s: exit code %d" args rc;
+  if rc <> expect_rc then
+    Alcotest.failf "vwctl %s: exit code %d (wanted %d)" args rc expect_rc;
   let path = Filename.concat "golden" golden in
   let expected =
     try read_file path
@@ -96,6 +97,15 @@ let suite =
         Alcotest.test_case "vwctl run quickstart --stats-json" `Quick
           (check_golden ~golden:"run_quickstart_stats.json"
              ~args:"run quickstart -w udp-ping -b 6400 -d 2 --stats-json");
+        Alcotest.test_case "vwctl conform --json (pass)" `Quick
+          (check_golden ~golden:"conform_pass.json"
+             ~args:"conform conformance/inject_probe.fsl --json");
+        Alcotest.test_case "vwctl conform --json (tolerance miss)" `Quick
+          (check_golden ~expect_rc:2 ~golden:"conform_tolerance_miss.json"
+             ~args:"conform conformance/failing/tolerance_miss.fsl --json");
+        Alcotest.test_case "vwctl conform --json (never arrived)" `Quick
+          (check_golden ~expect_rc:2 ~golden:"conform_missed.json"
+             ~args:"conform conformance/failing/never_arrived.fsl --json");
         Alcotest.test_case "binary capture exports identical JSONL" `Quick
           check_export_parity;
       ] );

@@ -24,6 +24,7 @@ let () =
          Test_arp.suite;
          Test_stress.suite;
          Test_check.suite;
+         Test_conform.suite;
          Test_exec.suite;
          Test_golden.suite;
          Test_intel.suite;

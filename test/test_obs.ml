@@ -318,6 +318,7 @@ let gen_event =
           (fun nid rule -> Ev.Report_raised { nid; rule })
           id
           (oneof [ return None; map (fun r -> Some r) id ]);
+        map2 (fun xid ok -> Ev.Expect_checked { xid; ok }) id bool;
       ]
   in
   let u48 =
