@@ -383,6 +383,136 @@ let micro_pipeline ?obs ?(samples = 2000) ~actions () =
   ignore (Stats.mean rtts);
   (wall, packets, ns_per_packet, pps)
 
+(* ------------------------------------------------------------------ *)
+(* Batched hot path: Fie.process_batch throughput, batch-size sweep     *)
+(* ------------------------------------------------------------------ *)
+
+(* One timed run: an arena of [batch] copies of the probe frame pushed
+   through node2's ingress engine until ~[packets] frames have been
+   processed. Host wall clock; verdicts discarded (the engine, not the
+   wire, is under measurement). *)
+let batch_run fie ~frame ~batch ~packets =
+  let arena = Vw_engine.Arena.create ~capacity:batch () in
+  for _ = 1 to batch do
+    Vw_engine.Arena.push arena frame
+  done;
+  let iters = max 1 (packets / batch) in
+  let nop _ _ = () in
+  (* warm-up: fault the compile-lazy paths and touch the arrays *)
+  ignore
+    (Vw_engine.Fie.process_batch fie Vw_stack.Hook.Ingress arena
+       ~on_verdict:nop);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore
+      (Vw_engine.Fie.process_batch fie Vw_stack.Hook.Ingress arena
+         ~on_verdict:nop)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  wall *. 1e9 /. float_of_int (iters * batch)
+
+let batch_sizes = [ 1; 8; 32; 128 ]
+
+(* best-of-[rounds] ns/packet per batch size, on a freshly deployed engine *)
+let batch_sweep ?(rounds = 3) ?(obs = false) ~script ~packets () =
+  let testbed, fie, tables = Workload.batch_engine ~script in
+  if obs then Testbed.enable_observability ~mode:Vw_obs.Recorder.Binary testbed;
+  Workload.batch_engine_start fie tables;
+  let frame = ping_eth in
+  List.map
+    (fun batch ->
+      let best = ref infinity in
+      for _ = 1 to rounds do
+        Gc.compact ();
+        let ns = batch_run fie ~frame ~batch ~packets in
+        if ns < !best then best := ns
+      done;
+      (batch, !best))
+    batch_sizes
+
+let batch_bench () =
+  (* the batched equivalent of the pipeline rows: 25 filters, counters
+     only — the shape the 1M packets/sec target is stated against *)
+  let rules_only =
+    batch_sweep
+      ~script:(Workload.udp_overhead_script ~n_filters:25 ~actions:false)
+      ~packets:262_144 ()
+  in
+  (* adversarial shapes at 1k-10k filters: a 1000-filter single shared
+     bucket degenerates every classification to the linear scan; 10k
+     singleton buckets stress the dispatch itself at scale *)
+  let adv_1k =
+    batch_sweep
+      ~script:(Workload.shared_bucket_script ~n_filters:1000)
+      ~packets:8_192 ()
+  in
+  let adv_10k =
+    batch_sweep
+      ~script:(Workload.big_singleton_script ~n_filters:10_000)
+      ~packets:65_536 ()
+  in
+  (* rules_only again with the binary flight recorder live: the delta at
+     each batch size prices recording per packet (2 events: classified +
+     counter change) *)
+  let recording =
+    batch_sweep
+      ~script:(Workload.udp_overhead_script ~n_filters:25 ~actions:false)
+      ~packets:262_144 ~obs:true ()
+  in
+  let ns_at b rows = List.assoc b rows in
+  let recording_ns = ns_at 128 recording -. ns_at 128 rules_only in
+  let pps ns = if ns > 0.0 then 1e9 /. ns else 0.0 in
+  if json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "  \"batch\": {\n";
+    let shape name rows ~last:is_last ~extra =
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" name);
+      List.iteri
+        (fun i (b, ns) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      \"b%d\": { \"ns_per_packet\": %.1f, \
+                \"packets_per_sec\": %.0f }%s\n"
+               b ns (pps ns)
+               (if i = List.length rows - 1 && extra = "" then "" else ",")))
+        rows;
+      if extra <> "" then Buffer.add_string buf extra;
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if is_last then "" else ","))
+    in
+    shape "rules_only" rules_only ~last:false ~extra:"";
+    shape "adv_1k_shared" adv_1k ~last:false ~extra:"";
+    shape "adv_10k_singleton" adv_10k ~last:false ~extra:"";
+    shape "recording" recording ~last:true
+      ~extra:
+        (Printf.sprintf "      \"recording_ns_per_packet\": %.1f\n"
+           recording_ns);
+    Buffer.add_string buf "  },\n";
+    Buffer.contents buf
+  end
+  else begin
+    header "Batched hot path (Fie.process_batch, host wall clock)";
+    Printf.printf "%-20s %6s %14s %14s\n" "shape" "batch" "ns/packet"
+      "packets/sec";
+    List.iter
+      (fun (name, rows) ->
+        List.iter
+          (fun (b, ns) ->
+            Printf.printf "%-20s %6d %14.1f %14.0f\n" name b ns (pps ns))
+          rows)
+      [
+        ("rules_only", rules_only);
+        ("adv_1k_shared", adv_1k);
+        ("adv_10k_singleton", adv_10k);
+        ("recording", recording);
+      ];
+    Printf.printf
+      "recording cost at batch 128: %.1f ns per packet (binary ring, 2 \
+       events per packet)\n"
+      recording_ns;
+    ""
+  end
+
 let micro () =
   let all_results = micro_classify_results () in
   let adversarial, classify =
@@ -479,6 +609,7 @@ let micro () =
          \    \"cascade_ns_per_packet\": %.1f\n\
          \  },\n"
          w0 p0 ns0 pps0 w1 p1 ns1 pps1 cascade_ns);
+    Buffer.add_string buf (batch_bench ());
     Buffer.add_string buf
       (Printf.sprintf
          "  \"obs_ablation\": {\n\
@@ -536,7 +667,8 @@ let micro () =
     Printf.printf
       "recording cost: binary %.1f ns, typed %.1f ns per inspected packet \
        (disabled recorder is a single branch per would-be event)\n"
-      recording_ns recording_jsonl_ns
+      recording_ns recording_jsonl_ns;
+    ignore (batch_bench ())
   end
 
 (* ------------------------------------------------------------------ *)

@@ -116,6 +116,47 @@ let masked_fallback_script ~n_filters =
   ^ "udp_ping: (34 2 0x1388), (36 2 0x1389)\n"
   ^ adversarial_scenario
 
+(* [n_filters] singleton buckets whose 16-bit discriminating values all
+   stay in range (0x2000 + k), so the shape scales to 10k filters where
+   [padding_filters]'s 0xe000 base would overflow the 2-byte field. The
+   probe's 0x1388 selects only the real filter's bucket: this is index
+   dispatch at scale, not scan length. *)
+let big_singleton_script ~n_filters =
+  let pads =
+    String.concat ""
+      (List.init (max 0 (n_filters - 1)) (fun k ->
+           Printf.sprintf "pad%d: (34 2 0x%04x)\n" k (0x2000 + k)))
+  in
+  "FILTER_TABLE\n" ^ pads
+  ^ "udp_ping: (34 2 0x1388), (36 2 0x1389)\n"
+  ^ adversarial_scenario
+
+(* --- direct-engine deployment for the batched hot-path bench ---
+
+   The batch section measures [Fie.process_batch] itself, so the testbed
+   is deployed locally: node2's engine gets the tables via [init_local]
+   (no control-plane traffic, no cost model, no simulation running) and
+   the measurement drives its ingress hook directly. *)
+let batch_engine ~script =
+  let tables =
+    match Vw_fsl.Compile.parse_and_compile script with
+    | Ok t -> t
+    | Error e -> failwith ("bench batch compile: " ^ e)
+  in
+  let testbed =
+    Testbed.of_node_table
+      ~config:{ Testbed.default_config with trace_capacity = 16 }
+      tables
+  in
+  let fie = Testbed.fie (Testbed.node testbed "node2") in
+  (testbed, fie, tables)
+
+let batch_engine_start fie tables =
+  (match Vw_engine.Fie.init_local fie ~controller_nid:0 tables with
+  | Ok () -> ()
+  | Error e -> failwith ("bench batch init: " ^ e));
+  Vw_engine.Fie.start_local fie
+
 (* The CPU-cost model used for the intrusiveness experiments: calibrated so
    that the 25-filter + 25-action + RLL configuration lands in the paper's
    "below 10% of the normal" band on this testbed's RTT. *)

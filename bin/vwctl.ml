@@ -151,8 +151,9 @@ let workload_arg =
     & info [ "w"; "workload" ] ~docv:"KIND"
         ~doc:
           "Traffic to drive through the testbed: $(b,tcp-stream), \
-           $(b,udp-ping), $(b,rether) (token ring plus a TCP stream), or \
-           $(b,idle).")
+           $(b,udp-ping), $(b,udp-blast) (one-way bursts through the \
+           batched hot path), $(b,rether) (token ring plus a TCP stream), \
+           or $(b,idle).")
 
 let bytes_arg =
   Arg.(
@@ -165,6 +166,16 @@ let duration_arg =
     value & opt float 60.0
     & info [ "d"; "max-duration" ] ~docv:"SECONDS"
         ~doc:"Simulated-time budget for the scenario.")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Frames per engine chunk for batched workloads ($(b,udp-blast)); \
+           default 128. Every value produces byte-identical events, stats \
+           and traces — batching only changes constant factors.")
 
 let rll_arg =
   Arg.(
@@ -362,8 +373,8 @@ let warn_truncation testbed ~capacity =
 (* vwctl run --repeat N: the same scenario as a campaign of N trials, trial
    i on a testbed seeded S+i. One Vw_exec job per trial; the reducer prints
    trials in plan order, so --jobs does not change the output. *)
-let run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes ~duration
-    ~rll ~opts ~repeat =
+let run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes ~batch
+    ~duration ~rll ~opts ~repeat =
   let base_seed =
     match opts.seed with Some s -> s | None -> Vw_util.Prng.run_seed ()
   in
@@ -383,7 +394,7 @@ let run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes ~duration
         match
           Scenario.run testbed ~script:src
             ~max_duration:(Vw_sim.Simtime.sec duration)
-            ~workload:(make_workload workload ~bytes)
+            ~workload:(make_workload ?batch workload ~bytes)
         with
         | Error e ->
             Vw_exec.Job.result ~verdict:`Fail (seed, "error: " ^ e ^ "\n")
@@ -553,9 +564,9 @@ let run_cmd =
              per node, one complete event per causal context, flow arrows \
              for control hops).")
   in
-  let run script_path workload bytes duration rll trace_n verbose counters
-      show_stats opts repeat events_out events_format metrics_out pcap_out
-      trace_json_out events_capacity =
+  let run script_path workload bytes batch duration rll trace_n verbose
+      counters show_stats opts repeat events_out events_format metrics_out
+      pcap_out trace_json_out events_capacity =
     setup_logs verbose;
     let events_capacity =
       match events_capacity with
@@ -591,7 +602,7 @@ let run_cmd =
             end
             else
               run_repeat_campaign ~tables ~src ~script_path ~workload ~bytes
-                ~duration ~rll ~opts ~repeat
+                ~batch ~duration ~rll ~opts ~repeat
         | Ok tables -> (
             let config =
               {
@@ -614,7 +625,7 @@ let run_cmd =
             match
               Scenario.run testbed ~script:src
                 ~max_duration:(Vw_sim.Simtime.sec duration)
-                ~workload:(make_workload workload ~bytes)
+                ~workload:(make_workload ?batch workload ~bytes)
             with
             | Error e ->
                 Printf.eprintf "error: %s\n" e;
@@ -729,10 +740,11 @@ let run_cmd =
          "Compile a script, build a simulated testbed from its node table, \
           deploy over the control plane and run the scenario.")
     Term.(
-      const run $ script_arg $ workload_arg $ bytes_arg $ duration_arg
-      $ rll_arg $ trace_arg $ verbose_arg $ counters_arg $ stats_arg
-      $ campaign_opts_term $ repeat_arg $ events_arg $ events_format_arg
-      $ metrics_arg $ pcap_arg $ trace_json_arg $ events_capacity_arg)
+      const run $ script_arg $ workload_arg $ bytes_arg $ batch_arg
+      $ duration_arg $ rll_arg $ trace_arg $ verbose_arg $ counters_arg
+      $ stats_arg $ campaign_opts_term $ repeat_arg $ events_arg
+      $ events_format_arg $ metrics_arg $ pcap_arg $ trace_json_arg
+      $ events_capacity_arg)
 
 (* --- explain --- *)
 

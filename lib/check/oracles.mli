@@ -7,6 +7,11 @@
       that prints identically;
     - [classifier_diff]: the indexed zero-copy classifier agrees with
       [Classifier.classify_linear] on every captured frame;
+    - [batch_equiv]: replaying the captured frames through
+      [Classifier.classify_batch] in chunks gives, frame by frame, the
+      same match and scan count as the per-frame compiled classifier, and
+      equal cumulative stats — the batched hot path is indistinguishable
+      from the fold it replaces;
     - [codec_roundtrip]: [Tables_codec] decode inverts encode (ignoring the
       rebuilt index) and re-encoding is canonical;
     - [events_roundtrip]: the [vw-events/1] JSONL rendering reloads to the
@@ -38,6 +43,9 @@ type defect =
   | Conform_zero_cover
       (** coverage forgets every filter match before the conformance
           cross-check *)
+  | Batch_skip_flush
+      (** the batched classifier never flushes its final chunk, as a
+          batching loop firing only on full chunks would *)
 
 val defect_of_string : string -> (defect, string) result
 val defect_to_string : defect -> string

@@ -1,0 +1,74 @@
+(* The preallocated frame arena of the batched hot path: parallel arrays
+   holding one batch of frames plus the per-frame classification results
+   ([fids], [scanned], [hits]) and verdicts. Allocated once and reused
+   across batches; [clear] is O(1). See DESIGN.md §5. *)
+
+let dummy_frame =
+  Vw_net.Eth.make ~dst:Vw_net.Mac.broadcast ~src:Vw_net.Mac.broadcast
+    ~ethertype:0 Bytes.empty
+
+type t = {
+  mutable frames : Vw_net.Eth.t array;
+  mutable fids : int array;  (* -1 = no match, -2 = control frame *)
+  mutable scanned : int array;  (* filters tested while classifying *)
+  mutable hits : Bytes.t;  (* '\001' = index hit, '\000' = miss *)
+  mutable verdicts : Vw_stack.Hook.verdict array;
+  mutable n : int;
+}
+
+let no_match = -1
+let control = -2
+
+let create ?(capacity = 128) () =
+  let capacity = max 1 capacity in
+  {
+    frames = Array.make capacity dummy_frame;
+    fids = Array.make capacity no_match;
+    scanned = Array.make capacity 0;
+    hits = Bytes.make capacity '\000';
+    verdicts = Array.make capacity Vw_stack.Hook.Drop;
+    n = 0;
+  }
+
+let capacity t = Array.length t.frames
+let length t = t.n
+let clear t = t.n <- 0
+
+let grow t =
+  let cap = 2 * capacity t in
+  let frames = Array.make cap dummy_frame in
+  Array.blit t.frames 0 frames 0 t.n;
+  t.frames <- frames;
+  let fids = Array.make cap no_match in
+  Array.blit t.fids 0 fids 0 t.n;
+  t.fids <- fids;
+  let scanned = Array.make cap 0 in
+  Array.blit t.scanned 0 scanned 0 t.n;
+  t.scanned <- scanned;
+  let hits = Bytes.make cap '\000' in
+  Bytes.blit t.hits 0 hits 0 t.n;
+  t.hits <- hits;
+  let verdicts = Array.make cap Vw_stack.Hook.Drop in
+  Array.blit t.verdicts 0 verdicts 0 t.n;
+  t.verdicts <- verdicts
+
+let push t frame =
+  if t.n = capacity t then grow t;
+  t.frames.(t.n) <- frame;
+  t.n <- t.n + 1
+
+let frame t i =
+  if i < 0 || i >= t.n then invalid_arg "Arena.frame: out of range";
+  t.frames.(i)
+
+let fid t i =
+  if i < 0 || i >= t.n then invalid_arg "Arena.fid: out of range";
+  t.fids.(i)
+
+let verdict t i =
+  if i < 0 || i >= t.n then invalid_arg "Arena.verdict: out of range";
+  t.verdicts.(i)
+
+let scanned t i =
+  if i < 0 || i >= t.n then invalid_arg "Arena.scanned: out of range";
+  t.scanned.(i)

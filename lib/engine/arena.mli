@@ -1,0 +1,43 @@
+(** The preallocated frame arena of the batched hot path.
+
+    One arena holds one batch: parallel arrays of frames, per-frame
+    classification results and verdicts, all allocated once and reused
+    across batches ({!clear} is O(1), {!push} only allocates on growth).
+    {!Fie.process_batch} consumes a filled arena; the raw arrays are
+    exposed (record fields) so {!Classifier.classify_batch} and the engine
+    can walk them without bounds-checked accessors on the hot path. *)
+
+type t = {
+  mutable frames : Vw_net.Eth.t array;
+  mutable fids : int array;
+      (** per-frame matched filter, {!no_match}, or {!control} *)
+  mutable scanned : int array;  (** filters tested while classifying *)
+  mutable hits : Bytes.t;  (** ['\001'] = index hit, ['\000'] = miss *)
+  mutable verdicts : Vw_stack.Hook.verdict array;
+  mutable n : int;  (** frames in the batch; only [0, n) is meaningful *)
+}
+
+val no_match : int
+(** −1: classified, no filter matched. *)
+
+val control : int
+(** −2: a VirtualWire control frame — never classified. *)
+
+val create : ?capacity:int -> unit -> t
+(** Preallocate for [capacity] frames (default 128; grows by doubling). *)
+
+val capacity : t -> int
+val length : t -> int
+
+val clear : t -> unit
+(** Empty the arena without releasing storage. *)
+
+val push : t -> Vw_net.Eth.t -> unit
+(** Append a frame to the batch. *)
+
+(** Bounds-checked single-slot readers, for tests and cold callers. *)
+
+val frame : t -> int -> Vw_net.Eth.t
+val fid : t -> int -> int
+val verdict : t -> int -> Vw_stack.Hook.verdict
+val scanned : t -> int -> int

@@ -128,3 +128,82 @@ let classify_frame ?stats (t : t) ~bindings (frame : Vw_net.Eth.t) =
   merge_scan ~stats
     ~test:(fun fid -> filter_matches_frame t.filters.(fid) ~bindings frame)
     bucket ci.ci_fallback
+
+(* --- matching over the compiled (SoA) filter table --- *)
+
+module C = Vw_fsl.Tables.Compiled
+
+let tuple_matches_c (c : C.t) ti ~bindings (frame : Vw_net.Eth.t) =
+  let pat = c.C.tu_pat.(ti) in
+  if pat >= 0 then
+    Vw_net.Eth.field_matches frame ~pos:c.C.tu_offset.(ti) ~pat:c.C.pool
+      ~pat_off:pat ~pat_len:c.C.tu_plen.(ti) ~mask:c.C.pool
+      ~mask_off:(max 0 c.C.tu_mask.(ti))
+      ~mask_len:c.C.tu_mlen.(ti)
+  else
+    match bindings.(-pat - 1) with
+    | None -> false
+    | Some pattern ->
+        Vw_net.Eth.field_matches frame ~pos:c.C.tu_offset.(ti) ~pat:pattern
+          ~pat_off:0 ~pat_len:(Bytes.length pattern) ~mask:c.C.pool
+          ~mask_off:(max 0 c.C.tu_mask.(ti))
+          ~mask_len:c.C.tu_mlen.(ti)
+
+let filter_matches_c (c : C.t) fid ~bindings frame =
+  let stop = c.C.f_start.(fid + 1) in
+  let rec go ti =
+    ti = stop || (tuple_matches_c c ti ~bindings frame && go (ti + 1))
+  in
+  go c.C.f_start.(fid)
+
+let classify_frame_c ?stats (c : C.t) ~bindings (frame : Vw_net.Eth.t) =
+  let key =
+    if c.C.ci_offset >= 0 && c.C.ci_offset + c.C.ci_len <= Vw_net.Eth.size frame
+    then Some (Vw_net.Eth.read_int_be frame ~pos:c.C.ci_offset ~len:c.C.ci_len)
+    else None
+  in
+  let bucket =
+    match key with
+    | Some key -> (
+        match Hashtbl.find_opt c.C.ci_buckets key with
+        | Some fids ->
+            (match stats with
+            | Some s -> s.index_hits <- s.index_hits + 1
+            | None -> ());
+            fids
+        | None ->
+            (match stats with
+            | Some s -> s.index_misses <- s.index_misses + 1
+            | None -> ());
+            empty_bucket)
+    | None ->
+        (match stats with
+        | Some s -> s.index_misses <- s.index_misses + 1
+        | None -> ());
+        empty_bucket
+  in
+  merge_scan ~stats
+    ~test:(fun fid -> filter_matches_c c fid ~bindings frame)
+    bucket c.C.ci_fallback
+
+(* Classify a whole batch in one pass, recording the per-frame match
+   ([Arena.no_match] for none), scan count and index hit/miss so a caller
+   interrupted mid-batch (STOP) can reconcile the cumulative stats down to
+   exactly the frames it actually processed. Totals added to [stats] equal
+   the sum of per-frame [classify_frame_c] calls by construction. *)
+let classify_batch ?stats (c : C.t) ~bindings ~frames ~n ~fids ~scanned ~hits =
+  let ls = new_scan_stats () in
+  for i = 0 to n - 1 do
+    let scanned_before = ls.filters_scanned in
+    let hits_before = ls.index_hits in
+    let r = classify_frame_c ~stats:ls c ~bindings frames.(i) in
+    fids.(i) <- (match r with Some fid -> fid | None -> -1);
+    scanned.(i) <- ls.filters_scanned - scanned_before;
+    Bytes.set hits i (if ls.index_hits > hits_before then '\001' else '\000')
+  done;
+  match stats with
+  | Some s ->
+      s.filters_scanned <- s.filters_scanned + ls.filters_scanned;
+      s.index_hits <- s.index_hits + ls.index_hits;
+      s.index_misses <- s.index_misses + ls.index_misses
+  | None -> ()

@@ -63,4 +63,36 @@ val classify_frame :
   Vw_net.Eth.t ->
   int option
 (** Indexed {e and} zero-copy: classifies an [Eth.t] without serializing
-    it. This is the engine's per-packet entry point. *)
+    it. *)
+
+val classify_frame_c :
+  ?stats:scan_stats ->
+  Vw_fsl.Tables.Compiled.t ->
+  bindings:bytes option array ->
+  Vw_net.Eth.t ->
+  int option
+(** {!classify_frame} over the compiled SoA filter table: same index
+    dispatch and first-match-wins merge scan, but tuples are flat int
+    arrays over a shared byte pool — no list traversal, no per-tuple
+    variant dispatch. This is the engine's per-packet entry point;
+    property-tested equal to {!classify_frame} and {!classify_linear}. *)
+
+val classify_batch :
+  ?stats:scan_stats ->
+  Vw_fsl.Tables.Compiled.t ->
+  bindings:bytes option array ->
+  frames:Vw_net.Eth.t array ->
+  n:int ->
+  fids:int array ->
+  scanned:int array ->
+  hits:Bytes.t ->
+  unit
+(** Classify [frames.(0 .. n-1)] in one pass (the arrays are an
+    {!Arena.t}'s). Per frame [i]: [fids.(i)] gets the first matching fid
+    or −1, [scanned.(i)] the filters tested, [hits.(i)] whether the
+    discriminating field selected a bucket ('\001') or fell through to
+    the fallback scan ('\000'). The totals added to [stats] equal a fold
+    of {!classify_frame_c}; the per-frame breakdown lets a caller that
+    stops mid-batch subtract the unprocessed tail and keep batch and
+    single-packet stats identical. Only sound when [bindings] cannot
+    change mid-batch (no vars, or no BIND_VAR reachable). *)

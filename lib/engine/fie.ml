@@ -75,8 +75,11 @@ type observer = { ob_cid : int; ob_src : Vw_net.Mac.t; ob_dst : Vw_net.Mac.t }
 
 type runtime = {
   tables : Tables.t;
+  compiled : Tables.Compiled.t; (* the SoA form the hot path walks *)
   controller_nid : int;
   nid : int;
+  term_local : bool array; (* tid -> this node evaluates the term *)
+  cond_local : bool array; (* did -> this node evaluates the condition *)
   counter_values : int array;
   counter_enabled : bool array;
   term_status : bool array;
@@ -240,29 +243,16 @@ let term_status t tid =
 
 let now t = Vw_sim.Engine.now (Vw_stack.Host.engine t.hst)
 
-(* --- term & condition evaluation --- *)
+(* --- term & condition evaluation ---
 
-let eval_term rt (term : Tables.term_entry) =
-  let left = rt.counter_values.(term.left) in
-  let right =
-    match term.right with
-    | Tables.Num n -> n
-    | Tables.Cnt cid -> rt.counter_values.(cid)
-  in
-  match term.op with
-  | Ast.Lt -> left < right
-  | Ast.Le -> left <= right
-  | Ast.Gt -> left > right
-  | Ast.Ge -> left >= right
-  | Ast.Eq -> left = right
-  | Ast.Ne -> left <> right
+   Both dispatch over the compiled SoA tables; Tables.Compiled property
+   tests pin them to the record-form reference evaluation. *)
 
-let rec eval_expr rt = function
-  | Tables.C_true -> true
-  | Tables.C_term tid -> rt.term_status.(tid)
-  | Tables.C_and (a, b) -> eval_expr rt a && eval_expr rt b
-  | Tables.C_or (a, b) -> eval_expr rt a || eval_expr rt b
-  | Tables.C_not a -> not (eval_expr rt a)
+let eval_term rt tid =
+  Tables.Compiled.eval_term rt.compiled ~counter_values:rt.counter_values tid
+
+let eval_cond rt did =
+  Tables.Compiled.eval_cond rt.compiled ~term_status:rt.term_status did
 
 (* --- control-plane sending --- *)
 
@@ -303,10 +293,9 @@ and report t report_value =
 
 (* --- action execution --- *)
 
-and execute_action t rt (entry : Tables.action_entry) ~did ~changed =
+and execute_action t rt ~did ~aid ~changed =
   t.stats.actions_executed <- t.stats.actions_executed + 1;
-  if Rec.enabled t.obs then
-    ignore (Rec.emit_action_fired t.obs ~did ~aid:entry.aid);
+  if Rec.enabled t.obs then ignore (Rec.emit_action_fired t.obs ~did ~aid);
   let set_value cid v =
     if rt.counter_values.(cid) <> v then begin
       let delta = v - rt.counter_values.(cid) in
@@ -317,36 +306,53 @@ and execute_action t rt (entry : Tables.action_entry) ~did ~changed =
       ignore (Vw_util.Worklist.add changed cid)
     end
   in
-  match entry.act with
-  | Tables.A_assign (cid, v) ->
+  (* the counter arithmetic that dominates cascades dispatches on the
+     compiled int descriptor; the cold cases fall back on the record *)
+  let cp = rt.compiled in
+  let kind = cp.Tables.Compiled.a_kind.(aid) in
+  if kind < Tables.Compiled.k_drop then begin
+    let cid = cp.Tables.Compiled.a_arg1.(aid) in
+    if kind = Tables.Compiled.k_assign then begin
       rt.counter_enabled.(cid) <- true;
-      set_value cid v
-  | Tables.A_enable cid -> rt.counter_enabled.(cid) <- true
-  | Tables.A_disable cid -> rt.counter_enabled.(cid) <- false
-  | Tables.A_incr (cid, v) -> set_value cid (rt.counter_values.(cid) + v)
-  | Tables.A_decr (cid, v) -> set_value cid (rt.counter_values.(cid) - v)
-  | Tables.A_reset cid -> set_value cid 0
-  | Tables.A_set_curtime cid ->
+      set_value cid cp.Tables.Compiled.a_arg2.(aid)
+    end
+    else if kind = Tables.Compiled.k_enable then
+      rt.counter_enabled.(cid) <- true
+    else if kind = Tables.Compiled.k_disable then
+      rt.counter_enabled.(cid) <- false
+    else if kind = Tables.Compiled.k_incr then
+      set_value cid (rt.counter_values.(cid) + cp.Tables.Compiled.a_arg2.(aid))
+    else if kind = Tables.Compiled.k_decr then
+      set_value cid (rt.counter_values.(cid) - cp.Tables.Compiled.a_arg2.(aid))
+    else if kind = Tables.Compiled.k_reset then set_value cid 0
+    else if kind = Tables.Compiled.k_set_curtime then
       set_value cid (int_of_float (Vw_sim.Simtime.to_ms (now t)))
-  | Tables.A_elapsed_time cid ->
+    else
       set_value cid
         (int_of_float (Vw_sim.Simtime.to_ms (now t)) - rt.counter_values.(cid))
-  | Tables.A_bind_var (vid, value) ->
-      rt.bindings.(vid) <- Some value;
-      Array.iter
-        (fun (n : Tables.node_entry) ->
-          if n.nid <> rt.nid then
-            send_control t ~dst_nid:n.nid (Control.Var_bind { vid; value }))
-        rt.tables.Tables.nodes
-  | Tables.A_fail nid ->
-      if nid = rt.nid then Vw_stack.Host.fail t.hst
-  | Tables.A_stop -> report t (Stop_report { nid = rt.nid })
-  | Tables.A_flag_error rule -> report t (Error_report { nid = rt.nid; rule })
-  | Tables.A_drop _ | Tables.A_delay _ | Tables.A_reorder _ | Tables.A_dup _
-  | Tables.A_modify _ ->
-      (* Faults are level-armed through their condition's status; nothing to
-         do at the edge. *)
-      ()
+  end
+  else
+    match rt.tables.Tables.actions.(aid).Tables.act with
+    | Tables.A_bind_var (vid, value) ->
+        rt.bindings.(vid) <- Some value;
+        Array.iter
+          (fun (n : Tables.node_entry) ->
+            if n.nid <> rt.nid then
+              send_control t ~dst_nid:n.nid (Control.Var_bind { vid; value }))
+          rt.tables.Tables.nodes
+    | Tables.A_fail nid -> if nid = rt.nid then Vw_stack.Host.fail t.hst
+    | Tables.A_stop -> report t (Stop_report { nid = rt.nid })
+    | Tables.A_flag_error rule -> report t (Error_report { nid = rt.nid; rule })
+    | Tables.A_drop _ | Tables.A_delay _ | Tables.A_reorder _ | Tables.A_dup _
+    | Tables.A_modify _ ->
+        (* Faults are level-armed through their condition's status; nothing
+           to do at the edge. *)
+        ()
+    | Tables.A_assign _ | Tables.A_enable _ | Tables.A_disable _
+    | Tables.A_incr _ | Tables.A_decr _ | Tables.A_reset _
+    | Tables.A_set_curtime _ | Tables.A_elapsed_time _ ->
+        (* kind < k_drop: handled by the descriptor dispatch above *)
+        assert false
 
 (* --- the cascade (Figure 3 / Figure 4b) ---
 
@@ -380,53 +386,52 @@ and cascade t rt ~changed_counters ~changed_terms =
       continue := false
     end
     else begin
+      let cp = rt.compiled in
       (* 1. ship counter updates to remote term evaluators *)
       W.iter
         (fun cid ->
-          let c = rt.tables.Tables.counters.(cid) in
-          if c.Tables.owner = rt.nid then
-            List.iter
-              (fun nid ->
-                send_control t ~dst_nid:nid
-                  (Control.Counter_update
-                     { cid; value = rt.counter_values.(cid) }))
-              c.Tables.value_subscribers)
+          if cp.Tables.Compiled.c_owner.(cid) = rt.nid then
+            for k = cp.Tables.Compiled.cs_start.(cid)
+                to cp.Tables.Compiled.cs_start.(cid + 1) - 1 do
+              send_control t ~dst_nid:cp.Tables.Compiled.cs_subs.(k)
+                (Control.Counter_update
+                   { cid; value = rt.counter_values.(cid) })
+            done)
         !cur;
       (* 2. re-evaluate local terms over the changed counters *)
       W.clear rt.ws_terms;
       W.iter
         (fun cid ->
-          List.iter
-            (fun tid ->
-              if rt.tables.Tables.terms.(tid).Tables.eval_node = rt.nid then
-                ignore (W.add rt.ws_terms tid))
-            rt.tables.Tables.counters.(cid).Tables.affected_terms)
+          for k = cp.Tables.Compiled.ct_start.(cid)
+              to cp.Tables.Compiled.ct_start.(cid + 1) - 1 do
+            let tid = cp.Tables.Compiled.ct_terms.(k) in
+            if rt.term_local.(tid) then ignore (W.add rt.ws_terms tid)
+          done)
         !cur;
       W.sort rt.ws_terms;
       (* terms that flipped (locally or pushed from a remote evaluator)
          feed the conditions they participate in *)
       W.clear rt.ws_conds;
       let add_conditions tid =
-        List.iter
-          (fun did ->
-            if List.mem rt.nid rt.tables.Tables.conds.(did).Tables.eval_nodes
-            then ignore (W.add rt.ws_conds did))
-          rt.tables.Tables.terms.(tid).Tables.in_conditions
+        for k = cp.Tables.Compiled.tc_start.(tid)
+            to cp.Tables.Compiled.tc_start.(tid + 1) - 1 do
+          let did = cp.Tables.Compiled.tc_conds.(k) in
+          if rt.cond_local.(did) then ignore (W.add rt.ws_conds did)
+        done
       in
       W.iter
         (fun tid ->
-          let term = rt.tables.Tables.terms.(tid) in
           t.stats.terms_evaluated <- t.stats.terms_evaluated + 1;
-          let status = eval_term rt term in
+          let status = eval_term rt tid in
           if status <> rt.term_status.(tid) then begin
             rt.term_status.(tid) <- status;
             if Rec.enabled t.obs then
               ignore (Rec.emit_term_flipped t.obs ~tid ~status);
-            List.iter
-              (fun nid ->
-                send_control t ~dst_nid:nid
-                  (Control.Term_status { tid; status }))
-              term.Tables.status_subscribers;
+            for k = cp.Tables.Compiled.ts_start.(tid)
+                to cp.Tables.Compiled.ts_start.(tid + 1) - 1 do
+              send_control t ~dst_nid:cp.Tables.Compiled.ts_subs.(k)
+                (Control.Term_status { tid; status })
+            done;
             add_conditions tid
           end)
         rt.ws_terms;
@@ -437,9 +442,8 @@ and cascade t rt ~changed_counters ~changed_terms =
       let risen = ref [] in
       W.iter
         (fun did ->
-          let cond = rt.tables.Tables.conds.(did) in
           t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
-          let status = eval_expr rt cond.Tables.expr in
+          let status = eval_cond rt did in
           if status && not rt.cond_status.(did) then begin
             if Rec.enabled t.obs then
               ignore (Rec.emit_condition_rose t.obs ~did);
@@ -452,12 +456,12 @@ and cascade t rt ~changed_counters ~changed_terms =
       W.clear !next;
       List.iter
         (fun did ->
-          List.iter
-            (fun (nid, aid) ->
-              if nid = rt.nid then
-                execute_action t rt rt.tables.Tables.actions.(aid) ~did
-                  ~changed:!next)
-            rt.tables.Tables.conds.(did).Tables.cond_actions)
+          for k = cp.Tables.Compiled.ca_start.(did)
+              to cp.Tables.Compiled.ca_start.(did + 1) - 1 do
+            if cp.Tables.Compiled.ca_nid.(k) = rt.nid then
+              execute_action t rt ~did ~aid:cp.Tables.Compiled.ca_aid.(k)
+                ~changed:!next
+          done)
         (List.rev !risen);
       let tmp = !cur in
       cur := !next;
@@ -652,11 +656,24 @@ and init_local t ~controller_nid tables =
         Array.map (Array.map (fun l -> Array.of_list (List.rev l))) obs_acc
       in
       let n_counters = Array.length tables.Tables.counters in
+      let compiled = Tables.compile tables in
+      let term_local =
+        Array.map (fun (tm : Tables.term_entry) -> tm.eval_node = nid)
+          tables.Tables.terms
+      in
+      let cond_local =
+        Array.map
+          (fun (c : Tables.cond_entry) -> List.mem nid c.Tables.eval_nodes)
+          tables.Tables.conds
+      in
       let rt =
         {
           tables;
+          compiled;
           controller_nid;
           nid;
+          term_local;
+          cond_local;
           counter_values = Array.make n_counters 0;
           counter_enabled = Array.make n_counters false;
           term_status = Array.make (Array.length tables.Tables.terms) false;
@@ -679,11 +696,10 @@ and init_local t ~controller_nid tables =
          every node computes the same snapshot, so no start-up burst of
          control messages is needed. *)
       Array.iteri
-        (fun tid term -> rt.term_status.(tid) <- eval_term rt term)
+        (fun tid _ -> rt.term_status.(tid) <- eval_term rt tid)
         tables.Tables.terms;
       Array.iteri
-        (fun did (cond : Tables.cond_entry) ->
-          rt.cond_status.(did) <- eval_expr rt cond.Tables.expr)
+        (fun did _ -> rt.cond_status.(did) <- eval_cond rt did)
         tables.Tables.conds;
       t.rt <- Some rt;
       Rec.set_nid t.obs nid;
@@ -708,8 +724,7 @@ and start_local t =
             List.iter
               (fun (nid, aid) ->
                 if nid = rt.nid then
-                  execute_action t rt rt.tables.Tables.actions.(aid)
-                    ~did:cond.Tables.did ~changed)
+                  execute_action t rt ~did:cond.Tables.did ~aid ~changed)
               cond.Tables.cond_actions)
         rt.tables.Tables.conds;
       cascade t rt
@@ -830,112 +845,120 @@ let charge_cost t point ~scanned ~actions verdict =
         | (Vw_stack.Hook.Drop | Vw_stack.Hook.Stolen) as v -> v
       end
 
+(* Everything after classification: observers → cascade → first armed
+   fault → cost charge. [fid < 0] means "no filter matched". Shared by the
+   single-packet hooks and the pre-classified batch path, so the two
+   cannot drift. *)
+let process_classified t rt point (frame : Vw_net.Eth.t) ~fid ~scanned =
+  let actions_before = t.stats.actions_executed in
+  (match t.mx with
+  | Some m -> Mx.observe m.mx_filters_scanned scanned
+  | None -> ());
+  if fid < 0 then
+    charge_cost t point ~scanned ~actions:0 (Vw_stack.Hook.Accept frame)
+  else begin
+    t.stats.packets_matched <- t.stats.packets_matched + 1;
+    rt.last_match <- Some (now t);
+    (* the classification event roots the causal chain for everything
+       this packet triggers, until the verdict is decided *)
+    let recording = Rec.enabled t.obs in
+    let prev_cause = if recording then Rec.cause t.obs else -1 in
+    if recording then begin
+      let obs_point =
+        match point with
+        | Vw_stack.Hook.Ingress -> Ev.Ingress
+        | Vw_stack.Hook.Egress -> Ev.Egress
+      in
+      ignore (Rec.emit_packet_classified t.obs ~point:obs_point ~fid)
+    end;
+    let p = pindex point in
+    (* 1. counter updates: only the observers precomputed for this
+       (point, fid) *)
+    let changed = ref [] in
+    Array.iter
+      (fun ob ->
+        if
+          rt.counter_enabled.(ob.ob_cid)
+          && Vw_net.Mac.equal frame.src ob.ob_src
+          && Vw_net.Mac.equal frame.dst ob.ob_dst
+        then begin
+          rt.counter_values.(ob.ob_cid) <- rt.counter_values.(ob.ob_cid) + 1;
+          t.stats.counter_updates <- t.stats.counter_updates + 1;
+          if recording then
+            ignore
+              (Rec.emit_counter_changed t.obs ~cid:ob.ob_cid
+                 ~value:rt.counter_values.(ob.ob_cid) ~delta:1);
+          changed := ob.ob_cid :: !changed
+        end)
+      rt.observing_counters.(p).(fid);
+    (* 2. cascade *)
+    if !changed <> [] then
+      cascade t rt ~changed_counters:(List.rev !changed) ~changed_terms:[];
+    (* 3. apply the first armed fault for this (point, fid) whose
+       condition holds and whose endpoints match *)
+    let faults = rt.faults_by_fid.(p).(fid) in
+    let n_faults = Array.length faults in
+    let rec first_fault i =
+      if i = n_faults then None
+      else
+        let af = faults.(i) in
+        if
+          rt.cond_status.(af.af_did)
+          && Vw_net.Mac.equal frame.src af.af_src
+          && Vw_net.Mac.equal frame.dst af.af_dst
+        then Some af
+        else first_fault (i + 1)
+    in
+    let verdict =
+      match first_fault 0 with
+      | Some af -> apply_fault t rt point frame af
+      | None -> Vw_stack.Hook.Accept frame
+    in
+    if recording then Rec.set_cause t.obs prev_cause;
+    charge_cost t point ~scanned
+      ~actions:(t.stats.actions_executed - actions_before)
+      verdict
+  end
+
 let handle_packet t point (frame : Vw_net.Eth.t) =
   t.stats.packets_inspected <- t.stats.packets_inspected + 1;
   match t.rt with
   | None -> Vw_stack.Hook.Accept frame
   | Some rt when not rt.started -> Vw_stack.Hook.Accept frame
-  | Some rt -> (
-      let actions_before = t.stats.actions_executed in
+  | Some rt ->
       let scanned_before = t.cls.Classifier.filters_scanned in
-      match
-        Classifier.classify_frame ~stats:t.cls rt.tables
-          ~bindings:rt.bindings frame
-      with
-      | None ->
-          let scanned = t.cls.Classifier.filters_scanned - scanned_before in
-          (match t.mx with
-          | Some m -> Mx.observe m.mx_filters_scanned scanned
-          | None -> ());
-          charge_cost t point ~scanned ~actions:0 (Vw_stack.Hook.Accept frame)
-      | Some fid ->
-          t.stats.packets_matched <- t.stats.packets_matched + 1;
-          rt.last_match <- Some (now t);
-          let scanned = t.cls.Classifier.filters_scanned - scanned_before in
-          (match t.mx with
-          | Some m -> Mx.observe m.mx_filters_scanned scanned
-          | None -> ());
-          (* the classification event roots the causal chain for everything
-             this packet triggers, until the verdict is decided *)
-          let recording = Rec.enabled t.obs in
-          let prev_cause = if recording then Rec.cause t.obs else -1 in
-          if recording then begin
-            let obs_point =
-              match point with
-              | Vw_stack.Hook.Ingress -> Ev.Ingress
-              | Vw_stack.Hook.Egress -> Ev.Egress
-            in
-            ignore (Rec.emit_packet_classified t.obs ~point:obs_point ~fid)
-          end;
-          let p = pindex point in
-          (* 1. counter updates: only the observers precomputed for this
-             (point, fid) *)
-          let changed = ref [] in
-          Array.iter
-            (fun ob ->
-              if
-                rt.counter_enabled.(ob.ob_cid)
-                && Vw_net.Mac.equal frame.src ob.ob_src
-                && Vw_net.Mac.equal frame.dst ob.ob_dst
-              then begin
-                rt.counter_values.(ob.ob_cid) <-
-                  rt.counter_values.(ob.ob_cid) + 1;
-                t.stats.counter_updates <- t.stats.counter_updates + 1;
-                if recording then
-                  ignore
-                    (Rec.emit_counter_changed t.obs ~cid:ob.ob_cid
-                       ~value:rt.counter_values.(ob.ob_cid) ~delta:1);
-                changed := ob.ob_cid :: !changed
-              end)
-            rt.observing_counters.(p).(fid);
-          (* 2. cascade *)
-          if !changed <> [] then
-            cascade t rt ~changed_counters:(List.rev !changed)
-              ~changed_terms:[];
-          (* 3. apply the first armed fault for this (point, fid) whose
-             condition holds and whose endpoints match *)
-          let faults = rt.faults_by_fid.(p).(fid) in
-          let n_faults = Array.length faults in
-          let rec first_fault i =
-            if i = n_faults then None
-            else
-              let af = faults.(i) in
-              if
-                rt.cond_status.(af.af_did)
-                && Vw_net.Mac.equal frame.src af.af_src
-                && Vw_net.Mac.equal frame.dst af.af_dst
-              then Some af
-              else first_fault (i + 1)
-          in
-          let verdict =
-            match first_fault 0 with
-            | Some af -> apply_fault t rt point frame af
-            | None -> Vw_stack.Hook.Accept frame
-          in
-          if recording then Rec.set_cause t.obs prev_cause;
-          charge_cost t point ~scanned
-            ~actions:(t.stats.actions_executed - actions_before)
-            verdict)
+      let fid =
+        match
+          Classifier.classify_frame_c ~stats:t.cls rt.compiled
+            ~bindings:rt.bindings frame
+        with
+        | Some fid -> fid
+        | None -> -1
+      in
+      let scanned = t.cls.Classifier.filters_scanned - scanned_before in
+      process_classified t rt point frame ~fid ~scanned
+
+let control_ingress t (frame : Vw_net.Eth.t) =
+  (match Control.of_payload frame.payload with
+  | Ok msg ->
+      if Rec.enabled t.obs then begin
+        (* a control frame arriving off the wire roots a fresh causal
+           context; stitching to the remote sender's chain happens
+           offline by payload equality *)
+        let prev_cause = Rec.cause t.obs in
+        ignore (Rec.emit_control_received t.obs ~ctl:(ctl_of_msg msg));
+        process_control t msg;
+        Rec.set_cause t.obs prev_cause
+      end
+      else process_control t msg
+  | Error e ->
+      Log.err (fun m ->
+          m "%s: undecodable control frame: %s" (Vw_stack.Host.name t.hst) e));
+  Vw_stack.Hook.Stolen
 
 let ingress_handler t (frame : Vw_net.Eth.t) =
-  if frame.ethertype = Vw_net.Eth.ethertype_vw_control then begin
-    (match Control.of_payload frame.payload with
-    | Ok msg ->
-        if Rec.enabled t.obs then begin
-          (* a control frame arriving off the wire roots a fresh causal
-             context; stitching to the remote sender's chain happens
-             offline by payload equality *)
-          let prev_cause = Rec.cause t.obs in
-          ignore (Rec.emit_control_received t.obs ~ctl:(ctl_of_msg msg));
-          process_control t msg;
-          Rec.set_cause t.obs prev_cause
-        end
-        else process_control t msg
-    | Error e ->
-        Log.err (fun m ->
-            m "%s: undecodable control frame: %s" (Vw_stack.Host.name t.hst) e));
-    Vw_stack.Hook.Stolen
-  end
+  if frame.ethertype = Vw_net.Eth.ethertype_vw_control then
+    control_ingress t frame
   else handle_packet t Vw_stack.Hook.Ingress frame
 
 let egress_handler t (frame : Vw_net.Eth.t) =
@@ -943,6 +966,90 @@ let egress_handler t (frame : Vw_net.Eth.t) =
     (* our own control traffic is not subject to classification *)
     Vw_stack.Hook.Accept frame
   else handle_packet t Vw_stack.Hook.Egress frame
+
+(* --- the batched hot path ---
+
+   [process_one] is exactly the hook handler for [point]: the linear
+   reference a batch must be indistinguishable from. [process_batch] runs
+   a filled arena through it frame by frame — amortizing the recorder's
+   slot claims, the classification pass (when sound) and the stop checks —
+   while keeping per-frame semantics, ordering and stats identical to the
+   fold (property-tested in test_engine and by the batch_equiv oracle). *)
+
+let process_one t point (frame : Vw_net.Eth.t) =
+  match point with
+  | Vw_stack.Hook.Ingress -> ingress_handler t frame
+  | Vw_stack.Hook.Egress -> egress_handler t frame
+
+let process_batch t point (arena : Arena.t) ~on_verdict =
+  let n = arena.Arena.n in
+  let frames = arena.Arena.frames in
+  let verdicts = arena.Arena.verdicts in
+  let engine = Vw_stack.Host.engine t.hst in
+  let recording = Rec.enabled t.obs in
+  if recording then Rec.batch_begin t.obs ~hint:n;
+  Fun.protect ~finally:(fun () -> if recording then Rec.batch_end t.obs)
+  @@ fun () ->
+  (* Pre-classify the whole batch only when classification cannot be
+     perturbed mid-batch: no vars (a BIND_VAR fired by frame i would
+     change how frame i+1 classifies) and no control frames (INIT/START
+     change the runtime itself). Otherwise each frame classifies right
+     before it is processed. Both orders give identical per-frame results
+     because classification reads only tables and bindings. *)
+  let pre =
+    match t.rt with
+    | Some rt when rt.started && Array.length rt.bindings = 0 ->
+        let rec has_control i =
+          i < n
+          && (frames.(i).Vw_net.Eth.ethertype
+              = Vw_net.Eth.ethertype_vw_control
+             || has_control (i + 1))
+        in
+        if has_control 0 then None
+        else begin
+          Classifier.classify_batch ~stats:t.cls rt.compiled
+            ~bindings:rt.bindings ~frames ~n ~fids:arena.Arena.fids
+            ~scanned:arena.Arena.scanned ~hits:arena.Arena.hits;
+          Some rt
+        end
+    | _ -> None
+  in
+  let processed = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !processed < n do
+    let i = !processed in
+    let v =
+      match pre with
+      | Some rt ->
+          t.stats.packets_inspected <- t.stats.packets_inspected + 1;
+          process_classified t rt point frames.(i) ~fid:arena.Arena.fids.(i)
+            ~scanned:arena.Arena.scanned.(i)
+      | None -> process_one t point frames.(i)
+    in
+    verdicts.(i) <- v;
+    processed := i + 1;
+    on_verdict i v;
+    (* a STOP report (or scenario timeout) raised while processing frame i
+       must keep frames i+1.. from running, exactly as it would keep their
+       scheduled deliveries from running in the unbatched world *)
+    if Vw_sim.Engine.stop_requested engine then stop := true
+  done;
+  (* When STOP cut the batch short, the pre-classification pass has
+     already counted the unprocessed tail in the cumulative classifier
+     stats; subtract it so batch and single-packet runs report identical
+     counters (the linear fold never classifies the tail at all). *)
+  (match pre with
+  | Some _ when !processed < n ->
+      for j = !processed to n - 1 do
+        t.cls.Classifier.filters_scanned <-
+          t.cls.Classifier.filters_scanned - arena.Arena.scanned.(j);
+        if Bytes.get arena.Arena.hits j = '\001' then
+          t.cls.Classifier.index_hits <- t.cls.Classifier.index_hits - 1
+        else
+          t.cls.Classifier.index_misses <- t.cls.Classifier.index_misses - 1
+      done
+  | _ -> ());
+  !processed
 
 let install hst =
   let t =

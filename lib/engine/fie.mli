@@ -137,6 +137,34 @@ val send_control : t -> dst_nid:int -> Control.msg -> unit
 (** Exposed for the controller (which shares the engine's node table) and
     for tests. Local destinations are processed synchronously. *)
 
+(** {1 Batched hot path}
+
+    {!process_one} is exactly the hook handler the engine installed for
+    that point — the linear reference. {!process_batch} runs a filled
+    {!Arena.t} through the same per-frame pipeline while amortizing the
+    batch-invariant work: one recorder slot reservation, one
+    classification pass over the whole batch (when no variable bindings
+    or control frames can perturb it mid-batch), one stop-flag read per
+    frame instead of a scheduler round-trip. Semantics are identical to
+    folding {!process_one} — first-match-wins, per-frame cascades,
+    verdict application order, stats and recorded events — property-tested
+    in [test_engine.ml] and by the [batch_equiv] oracle in [vw_check]. *)
+
+val process_one : t -> Vw_stack.Hook.point -> Vw_net.Eth.t -> Vw_stack.Hook.verdict
+(** Run one frame through the engine's handler for [point], control frames
+    included — byte-for-byte the installed hook behaviour. *)
+
+val process_batch :
+  t -> Vw_stack.Hook.point -> Arena.t -> on_verdict:(int -> Vw_stack.Hook.verdict -> unit) -> int
+(** [process_batch t point arena ~on_verdict] processes frames
+    [0 .. Arena.length arena - 1] in order, storing each verdict in the
+    arena and calling [on_verdict i v] immediately after frame [i] — the
+    caller applies the verdict there (transmit / reinject), so DUP and
+    REORDER reinjections interleave with the batch exactly as they would
+    unbatched. Returns the number of frames processed: fewer than the
+    batch length iff a STOP was requested mid-batch, in which case the
+    cumulative stats are reconciled to cover only the processed prefix. *)
+
 (** {1 Processing-cost model}
 
     On the paper's testbed the engine consumes real CPU per packet — the

@@ -136,6 +136,88 @@ type t = {
       (** derived from [filters]; rebuilt (not shipped) by the codec *)
 }
 
+(** The immutable structure-of-arrays runtime form, compiled once from the
+    record-of-lists tables at INIT. The record form stays the wire/codec
+    format and the executable reference; this form is what the per-packet
+    hot path walks: CSR (start-offset + flat member) layouts for every
+    one-to-many link, literal patterns and masks concatenated into one
+    byte pool, condition expressions as prefix-order node arrays with
+    explicit short-circuit skip targets, and one int-descriptor per
+    action. See DESIGN.md §5, "Batched SoA hot path". *)
+module Compiled : sig
+  type t = {
+    f_start : int array;
+        (** fid → first tuple index (CSR, length n_filters+1) *)
+    tu_offset : int array;  (** per tuple: frame byte offset *)
+    tu_pat : int array;
+        (** ≥ 0: pattern offset into [pool]; < 0: var pattern −(vid+1) *)
+    tu_plen : int array;  (** literal pattern length; 0 for vars *)
+    tu_mask : int array;  (** mask offset into [pool]; −1 = unmasked *)
+    tu_mlen : int array;  (** mask length; 0 = unmasked *)
+    pool : bytes;
+    ci_offset : int;
+    ci_len : int;
+    ci_buckets : (int, int array) Hashtbl.t;
+    ci_fallback : int array;
+    c_owner : int array;
+    ct_start : int array;  (** cid → affected_terms slice *)
+    ct_terms : int array;
+    cs_start : int array;  (** cid → value_subscribers slice *)
+    cs_subs : int array;
+    t_left : int array;
+    t_op : int array;  (** 0 Lt, 1 Le, 2 Gt, 3 Ge, 4 Eq, 5 Ne *)
+    t_right_cnt : int array;  (** ≥ 0: counter id; −1: use t_right_num *)
+    t_right_num : int array;
+    t_eval_node : int array;
+    ts_start : int array;  (** tid → status_subscribers slice *)
+    ts_subs : int array;
+    tc_start : int array;  (** tid → in_conditions slice *)
+    tc_conds : int array;
+    cx_start : int array;  (** did → first expression node *)
+    cx_op : int array;  (** 0 TRUE, 1 TERM, 2 AND, 3 OR, 4 NOT *)
+    cx_arg : int array;
+        (** TERM: tid; AND/OR: index past the subtree (skip target) *)
+    ca_start : int array;  (** did → cond_actions slice *)
+    ca_nid : int array;
+    ca_aid : int array;
+    a_kind : int array;  (** see the [k_*] values *)
+    a_arg1 : int array;
+    a_arg2 : int array;
+  }
+
+  val k_assign : int
+  val k_enable : int
+  val k_disable : int
+  val k_incr : int
+  val k_decr : int
+  val k_reset : int
+  val k_set_curtime : int
+  val k_elapsed_time : int
+  val k_drop : int
+  val k_delay : int
+  val k_reorder : int
+  val k_dup : int
+  val k_modify : int
+  val k_fail : int
+  val k_stop : int
+  val k_flag_error : int
+  val k_bind_var : int
+
+  val eval_term : t -> counter_values:int array -> int -> bool
+  (** Identical to evaluating the record-form term entry over the same
+      counter values (property-tested). *)
+
+  val eval_cond : t -> term_status:bool array -> int -> bool
+  (** Left-to-right short-circuit evaluation over the flattened nodes —
+      identical to the recursive evaluation of the record-form
+      expression. *)
+end
+
+val compile : t -> Compiled.t
+(** Flatten the tables into their SoA runtime form. Pure; the result
+    shares the classification index's bucket arrays (immutable once
+    built). *)
+
 val build_index : filter_entry array -> classification_index
 (** Choose the discriminating (offset, len) window — the one a mask-free
     literal tuple constrains in the most filters — and bucket the filters

@@ -63,6 +63,45 @@ let masked_field_equal t ~pos ~pattern ~mask =
     go 0
   end
 
+(* Pool-based variant for the compiled (SoA) filter tables: pattern and
+   mask are slices of shared byte pools instead of standalone [bytes].
+   [mask_len = 0] means unmasked; mask bytes beyond [mask_len] are treated
+   as 0xff, mirroring [masked_field_equal]'s short-mask rule. The caller
+   guarantees the pattern/mask slices are in bounds (they come from a
+   compile-time pool); the frame-side bounds are checked here. *)
+let field_matches t ~pos ~pat ~pat_off ~pat_len ~mask ~mask_off ~mask_len =
+  if pos < 0 || pat_len < 0 || pos + pat_len > size t then false
+  else if pos >= header_size then begin
+    (* entirely inside the payload: compare in place, no per-byte dispatch *)
+    let p = t.payload in
+    let base = pos - header_size in
+    let rec go i =
+      if i = pat_len then true
+      else
+        let m =
+          if i < mask_len then Char.code (Bytes.unsafe_get mask (mask_off + i))
+          else 0xff
+        in
+        let bv = Char.code (Bytes.unsafe_get p (base + i)) land m in
+        let pv = Char.code (Bytes.unsafe_get pat (pat_off + i)) land m in
+        if bv = pv then go (i + 1) else false
+    in
+    go 0
+  end
+  else
+    let rec go i =
+      if i = pat_len then true
+      else
+        let m =
+          if i < mask_len then Char.code (Bytes.get mask (mask_off + i))
+          else 0xff
+        in
+        let bv = get_byte t (pos + i) land m in
+        let pv = Char.code (Bytes.get pat (pat_off + i)) land m in
+        if bv = pv then go (i + 1) else false
+    in
+    go 0
+
 let of_bytes b =
   if Bytes.length b < header_size then
     invalid_arg "Eth.of_bytes: frame shorter than header";

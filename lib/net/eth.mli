@@ -49,4 +49,21 @@ val masked_field_equal :
     [Hexutil.masked_equal (to_bytes t) ~pos ~pattern ~mask] without the
     copy: false (never an exception) if the window exceeds the frame. *)
 
+val field_matches :
+  t ->
+  pos:int ->
+  pat:bytes ->
+  pat_off:int ->
+  pat_len:int ->
+  mask:bytes ->
+  mask_off:int ->
+  mask_len:int ->
+  bool
+(** {!masked_field_equal} over pool slices: pattern and mask are windows
+    into shared byte pools (the compiled filter table's), so the SoA hot
+    path compares without materializing per-tuple [bytes]. [mask_len = 0]
+    means unmasked; mask bytes beyond [mask_len] count as 0xff, exactly
+    the short-mask rule of {!masked_field_equal}. The pattern/mask slices
+    must be in bounds (unchecked); frame bounds are checked. *)
+
 val pp : Format.formatter -> t -> unit

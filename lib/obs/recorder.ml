@@ -20,6 +20,10 @@ type t = {
   mutable len : int;
   mutable dropped : int;
   mutable cause : int;
+  mutable batch_time : int;
+      (* timestamp cached by batch_begin (-1 = not in a batch): within one
+         batch the sim clock cannot advance, so one clock() call covers
+         every event the batch emits *)
 }
 
 let null =
@@ -39,6 +43,7 @@ let null =
     len = 0;
     dropped = 0;
     cause = -1;
+    batch_time = -1;
   }
 
 let create ?(mode = Binary) ?(capacity = 16384) ?strings ~node ~clock ~seq () =
@@ -62,6 +67,7 @@ let create ?(mode = Binary) ?(capacity = 16384) ?strings ~node ~clock ~seq () =
     len = 0;
     dropped = 0;
     cause = -1;
+    batch_time = -1;
   }
 
 let enabled t = t.enabled
@@ -104,8 +110,8 @@ let typed_emit t ~root body =
     else if t.cause >= 0 then t.cause
     else seq
   in
-  push t
-    { Event.seq; time = t.clock (); node = t.node; nid = t.nid; cause; body };
+  let time = if t.batch_time >= 0 then t.batch_time else t.clock () in
+  push t { Event.seq; time; node = t.node; nid = t.nid; cause; body };
   seq
 
 (* --- binary sink --- *)
@@ -158,7 +164,8 @@ let binary_emit t ~root ~kind ~aux ~a ~b ~c =
   let ring = t.ring in
   set_64u ring (off + Binlog.o_seq)
     (Int64.logor (Int64.of_int seq) (Int64.shift_left (Int64.of_int t.sid) 48));
-  set_64u ring (off + Binlog.o_time) (Int64.of_int (t.clock ()));
+  set_64u ring (off + Binlog.o_time)
+    (Int64.of_int (if t.batch_time >= 0 then t.batch_time else t.clock ()));
   set_64u ring (off + Binlog.o_cause)
     (Int64.logor (Int64.of_int cause)
        (Int64.shift_left (Int64.of_int (t.nid land 0xffff)) 48));
@@ -167,6 +174,29 @@ let binary_emit t ~root ~kind ~aux ~a ~b ~c =
   set_64u ring (off + Binlog.o_b) (Int64.of_int b);
   set_64u ring (off + Binlog.o_c) (Int64.of_int c);
   seq
+
+(* --- batched emission ---
+
+   The batch processor brackets a batch with [batch_begin]/[batch_end]:
+   the sim clock is read once (it cannot advance within one callback, so
+   every event in the batch carries the same timestamp it would have
+   carried unbatched) and the binary ring is pre-grown to cover the
+   expected emission count, taking the grow check off the per-event claim.
+   The claim itself stays per-event so the drop-oldest accounting is
+   byte-identical to unbatched emission (parity-tested in test_obs). *)
+
+let batch_begin t ~hint =
+  if t.enabled then begin
+    t.batch_time <- t.clock ();
+    if t.mode = Binary then begin
+      let want = min t.capacity (t.len + max 0 hint) in
+      while t.slots < want do
+        grow_ring t
+      done
+    end
+  end
+
+let batch_end t = t.batch_time <- -1
 
 (* --- generic emitters (compat path; used by tests and cold sites) --- *)
 
@@ -323,4 +353,5 @@ let clear t =
   t.start <- 0;
   t.len <- 0;
   t.dropped <- 0;
-  t.cause <- -1
+  t.cause <- -1;
+  t.batch_time <- -1

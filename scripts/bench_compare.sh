@@ -65,6 +65,15 @@ flatten() {
          { key: "obs_ablation.recording_jsonl_ns_per_packet",
            value: .obs_ablation.recording_jsonl_ns_per_packet }
        else empty end),
+      (.batch // {} | to_entries[]
+       | .key as $shape | .value | to_entries[]
+       | select(.value | type == "object" and has("ns_per_packet"))
+       | { key: ("batch." + $shape + "." + .key + ".ns_per_packet"),
+           value: .value.ns_per_packet }),
+      (if (.batch.recording.recording_ns_per_packet? // empty) != "" then
+         { key: "batch.recording.recording_ns_per_packet",
+           value: .batch.recording.recording_ns_per_packet }
+       else empty end),
       (.campaign // {} | to_entries[]
        | select(.value | type == "object" and has("wall_s"))
        | { key: ("campaign." + .key + ".wall_s"),

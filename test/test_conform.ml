@@ -126,6 +126,77 @@ let test_expect_checked_stamps () =
       in
       check (list (pair int bool)) "one stamp per expectation" expected stamps
 
+(* --- udp-blast: observable output identical at every batch size --- *)
+
+let blast_script =
+  {|
+FILTER_TABLE
+udp_ping: (34 2 0x1388), (36 2 0x1389)
+END
+NODE_TABLE
+node1 02:00:00:00:00:01 10.0.0.1
+node2 02:00:00:00:00:02 10.0.0.2
+END
+SCENARIO blast_parity
+PING_S: (udp_ping, node1, node2, SEND)
+PING_R: (udp_ping, node1, node2, RECV)
+(TRUE) >> ENABLE_CNTR( PING_S ); ENABLE_CNTR( PING_R );
+((PING_R = 40)) >> STOP;
+END
+|}
+
+let blast_run ~batch =
+  let tables =
+    match Vw_fsl.Compile.parse_and_compile blast_script with
+    | Ok t -> t
+    | Error e -> failf "compile: %s" e
+  in
+  let testbed = Vw_core.Testbed.of_node_table tables in
+  Vw_core.Testbed.enable_observability testbed;
+  match
+    Vw_core.Scenario.run testbed ~script:blast_script
+      ~max_duration:(Vw_sim.Simtime.sec 5.0)
+      ~workload:(Workloads.make ~batch Workloads.Udp_blast ~bytes:4096)
+  with
+  | Error e -> failf "scenario: %s" e
+  | Ok r ->
+      let stats node =
+        Vw_engine.Fie.stats_fields
+          (Vw_engine.Fie.stats
+             (Vw_core.Testbed.fie (Vw_core.Testbed.node testbed node)))
+      in
+      let events =
+        match
+          Vw_core.Testbed.events_binary testbed ~scenario:"blast_parity"
+        with
+        | Some s -> s
+        | None -> failf "no binary event log"
+      in
+      ( Vw_core.Scenario.outcome_to_string r.Vw_core.Scenario.outcome,
+        stats "node1",
+        stats "node2",
+        events )
+
+let test_blast_batch_size_parity () =
+  (* the sender pushes 64 frames in 32-frame bursts through the batched
+     engine; a mid-campaign STOP cuts it off. Chunking the bursts at 1,
+     7 or 32 frames must not change the outcome, either node's engine
+     stats, or a single byte of the event log. *)
+  let o_ref, s1_ref, s2_ref, ev_ref = blast_run ~batch:1 in
+  check string "stopped by the scenario" "STOPPED" o_ref;
+  check bool "sender saw traffic" true
+    (List.assoc "packets_inspected" s1_ref > 0);
+  List.iter
+    (fun batch ->
+      let o, s1, s2, ev = blast_run ~batch in
+      let name fmt = Printf.sprintf "batch=%d: %s" batch fmt in
+      check string (name "outcome") o_ref o;
+      check (list (pair string int)) (name "node1 stats") s1_ref s1;
+      check (list (pair string int)) (name "node2 stats") s2_ref s2;
+      check bool (name "event log byte-identical") true
+        (String.equal ev_ref ev))
+    [ 7; 32 ]
+
 (* --- qcheck: CONFORM survives the print->parse round-trip --- *)
 
 let seed_gen = QCheck.(int_bound 1_000_000)
@@ -172,6 +243,8 @@ let suite =
         test_case "replay is deterministic" `Quick test_replay_deterministic;
         test_case "Expect_checked stamps mirror verdicts" `Quick
           test_expect_checked_stamps;
+        test_case "udp-blast parity at every batch size" `Quick
+          test_blast_batch_size_parity;
         Test_seed.qtest prop_conform_fixpoint;
         test_case "generator emits CONFORM sections" `Quick
           test_generator_emits_conform;
